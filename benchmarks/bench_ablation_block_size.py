@@ -1,0 +1,48 @@
+"""Ablation (Sec. 3.2.2): the bound on basic-block size.
+
+"To bound the time between control flow checks, Argus-1 also requires a
+fixed limit on the size of basic blocks."  Smaller limits mean more
+splits (more Signature terminators -> higher overhead) but tighter
+worst-case detection latency; this sweep quantifies the trade-off.
+"""
+
+from repro.cpu import FastCore
+from repro.workloads import WORKLOADS
+
+LIMITS = (8, 16, 24, 48)
+_BENCHES = ("adpcm_enc", "gsm", "pegwit")
+
+
+def _sweep():
+    results = {}
+    for limit in LIMITS:
+        static = []
+        dynamic = []
+        largest_block = 0
+        for name in _BENCHES:
+            workload = WORKLOADS[name]
+            base = FastCore(workload.build_base()).run()
+            embedded = workload.build_embedded(max_block=limit)
+            run = FastCore(embedded.program).run()
+            static.append(embedded.static_overhead)
+            dynamic.append((run.instructions - base.instructions) / base.instructions)
+            largest_block = max(largest_block,
+                                max(b.num_insns for b in embedded.blocks.values()))
+        count = len(_BENCHES)
+        results[limit] = (sum(static) / count, sum(dynamic) / count, largest_block)
+    return results
+
+
+def test_block_size_ablation(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print("\n  %8s %9s %9s %18s" % ("limit", "static%", "dyn%", "largest block"))
+    for limit, (static, dynamic, largest) in results.items():
+        print("  %8d %8.2f%% %8.2f%% %18d" % (
+            limit, 100 * static, 100 * dynamic, largest))
+        benchmark.extra_info["limit=%d" % limit] = round(static, 4)
+
+    # The latency bound holds: no block exceeds limit + inserted sigs.
+    for limit, (*_ignore, largest) in results.items():
+        assert largest <= limit + 3
+    # Cost monotonicity: tighter limits cost more static overhead.
+    assert results[8][0] > results[24][0] >= results[48][0]

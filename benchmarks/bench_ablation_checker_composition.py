@@ -1,0 +1,65 @@
+"""Ablation (Sec. 4.1.1): "a composition of all checkers is necessary".
+
+Leave-one-out: run the same weighted fault campaign with each checker
+category disabled and measure the coverage of unmasked errors.  The
+paper's claim holds if every removal costs coverage; the measurement
+also exposes the *defense-in-depth* structure - some computation-checker
+detections are backstopped by parity or the DCS comparison downstream,
+while parity's register/operand coverage has no substitute at all.
+"""
+
+from repro.cpu import CheckedCore
+from repro.faults.campaign import Campaign
+from repro.faults.injector import SignalInjector
+from repro.faults.model import PERMANENT
+
+EXPERIMENTS = 220
+
+
+class _AblatedCampaign(Campaign):
+    """A campaign whose detection runs use a checker subset."""
+
+    def __init__(self, disabled, **kwargs):
+        super().__init__(**kwargs)
+        self.disabled = disabled
+
+    def _new_core(self, spec, detect):
+        injector = None if spec.is_state else SignalInjector(spec)
+        checkers = [category for category in CheckedCore.CHECKER_CATEGORIES
+                    if category != self.disabled]
+        core = CheckedCore(self.embedded, injector=injector, detect=detect,
+                           checkers=checkers)
+        return core, injector
+
+
+def _run_all():
+    results = {"(all checkers)": Campaign(seed=9).run(
+        experiments=EXPERIMENTS, duration=PERMANENT)}
+    for disabled in ("computation", "parity", "dcs", "watchdog"):
+        summary = _AblatedCampaign(disabled, seed=9).run(
+            experiments=EXPERIMENTS, duration=PERMANENT)
+        results["without " + disabled] = summary
+    return results
+
+
+def test_checker_composition_ablation(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    print("\n  %-22s %10s %8s" % ("configuration", "coverage", "silent"))
+    full = results["(all checkers)"]
+    for name, summary in results.items():
+        fractions = summary.fractions()
+        print("  %-22s %9.1f%% %7.1f%%" % (
+            name, 100 * summary.unmasked_coverage,
+            100 * fractions["unmasked_undetected"]))
+        benchmark.extra_info[name] = round(summary.unmasked_coverage, 4)
+
+    assert full.unmasked_coverage > 0.94
+    # Removing ANY core checker costs coverage (the composition claim).
+    for disabled in ("computation", "parity", "dcs"):
+        assert (results["without " + disabled].unmasked_coverage
+                < full.unmasked_coverage - 0.02), disabled
+    # Parity has no substitute: its removal is by far the most damaging.
+    drops = {name: full.unmasked_coverage - summary.unmasked_coverage
+             for name, summary in results.items() if name != "(all checkers)"}
+    assert max(drops, key=drops.get) == "without parity"
+    assert drops["without parity"] > 0.25

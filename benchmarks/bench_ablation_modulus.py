@@ -1,0 +1,52 @@
+"""Ablation (Sec. 3.3.2): Mersenne modulus size of the mul/div checker.
+
+"Modulo checkers have a small probability of aliasing ... [which] can be
+made arbitrarily small by increasing M, at the cost of a larger
+multiplier in the sub-checker."  This ablation sweeps Mersenne moduli
+and measures the empirical escape rate of random multiplier corruptions,
+which must fall like ~1/M, against the residue width as the cost proxy.
+"""
+
+import random
+
+from repro.argus.checkers import ModuloChecker
+from repro.isa.opcodes import Op
+from repro.isa.semantics import mul64
+
+TRIALS = 4000
+MODULI = (3, 7, 15, 31, 63, 127)
+
+
+def _escape_rate(modulus, trials=TRIALS, seed=99):
+    rng = random.Random(seed)
+    checker = ModuloChecker(modulus=modulus)
+    escapes = 0
+    for _ in range(trials):
+        a = rng.getrandbits(32)
+        b = rng.getrandbits(32)
+        product = mul64(Op.MULU, a, b)
+        # A gate fault inside the multiplier array perturbs the product by
+        # an arbitrary amount (carry chains smear single-node upsets).
+        delta = rng.randrange(1, 1 << 20)
+        corrupted = (product + delta) & 0xFFFFFFFFFFFFFFFF
+        if checker.check_mul(Op.MULU, a, b, corrupted):
+            escapes += 1
+    return escapes / trials
+
+
+def test_modulus_ablation(benchmark):
+    rates = benchmark.pedantic(
+        lambda: {m: _escape_rate(m) for m in MODULI}, rounds=1, iterations=1)
+    print("\n  %8s %12s %14s" % ("modulus", "escape rate", "checker bits"))
+    for modulus, rate in rates.items():
+        print("  %8d %11.2f%% %14d" % (modulus, 100 * rate,
+                                       modulus.bit_length()))
+        benchmark.extra_info["M=%d" % modulus] = round(rate, 5)
+
+    # Aliasing shrinks like ~1/M: each modulus should sit near its 1/M
+    # line, and the sweep must be monotone down to sampling noise.
+    assert rates[3] > rates[31] > rates[127]
+    for modulus, rate in rates.items():
+        assert abs(rate - 1.0 / modulus) < 3.0 / modulus ** 0.5 / TRIALS ** 0.5 + 0.01
+    # The paper's M=31 pick: ~3% residual aliasing on the multiplier.
+    assert 0.01 < rates[31] < 0.06

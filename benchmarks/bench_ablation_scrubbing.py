@@ -1,0 +1,59 @@
+"""Ablation (Sec. 4.2 extension): memory scrubbing rate vs detection
+latency.
+
+"Detection latency can be bounded by using cache and DRAM scrubbing,
+but will still be much higher than Argus-1's detection latencies for
+other errors."  This sweep plants storage-parity errors at random words
+and measures how many scrub activations pass before the walker finds
+them, across scrub rates, against the analytic worst-case bound.
+"""
+
+import random
+
+from repro.argus.errors import MemoryCheckError
+from repro.argus.scrubber import Scrubber, scrub_latency_bound
+from repro.mem.checked import CheckedMemory
+
+RESIDENT_WORDS = 256
+RATES = (1, 4, 16, 64)
+TRIALS = 60
+
+
+def _measure(rate, trials=TRIALS, seed=77):
+    rng = random.Random(seed)
+    latencies = []
+    for _ in range(trials):
+        memory = CheckedMemory()
+        for i in range(RESIDENT_WORDS):
+            memory.store_word(0x2000 + 4 * i, rng.getrandbits(32))
+        victim = 0x2000 + 4 * rng.randrange(RESIDENT_WORDS)
+        scrubber = Scrubber(memory, words_per_activation=rate)
+        # Advance the cursor to a random phase before the error lands.
+        for _ in range(rng.randrange(0, RESIDENT_WORDS // rate + 1)):
+            scrubber.activate()
+        memory.corrupt_parity(victim)
+        activations = 0
+        try:
+            while True:
+                scrubber.activate()
+                activations += 1
+        except MemoryCheckError:
+            latencies.append(activations)
+    return latencies
+
+
+def test_scrubbing_ablation(benchmark):
+    results = benchmark.pedantic(
+        lambda: {rate: _measure(rate) for rate in RATES},
+        rounds=1, iterations=1)
+    print("\n  %6s %16s %16s %18s" % (
+        "rate", "mean activations", "max activations", "worst-case bound"))
+    for rate, latencies in results.items():
+        bound = scrub_latency_bound(RESIDENT_WORDS, rate, 1)
+        mean = sum(latencies) / len(latencies)
+        print("  %6d %16.1f %16d %18d" % (rate, mean, max(latencies), bound))
+        benchmark.extra_info["rate=%d" % rate] = round(mean, 1)
+        # The analytic bound holds for every trial...
+        assert max(latencies) <= bound
+    # ...and faster scrubbing shortens detection proportionally.
+    assert sum(results[1]) / len(results[1]) > 8 * sum(results[64]) / len(results[64])

@@ -1,0 +1,82 @@
+"""Sec. 5 head-to-head: Argus-1 vs lockstep DMR on the same faults.
+
+The paper argues DMR buys its (near-perfect) coverage of unmasked errors
+at ~100% extra area, while Argus-1 gets within a couple of points of it
+for ~17%.  This benchmark replays the *same* sampled fault list through
+both schemes and reports coverage-per-area: DMR detects at least what
+Argus does on unmasked errors, Argus stays within a few points, and the
+area ratio is ~6x.
+"""
+
+import random
+
+from repro.area.baselines import related_work_comparison
+from repro.cpu.dmr import LockstepCore
+from repro.faults.campaign import Campaign
+from repro.faults.injector import SignalInjector
+from repro.faults.model import PERMANENT
+from repro.faults.points import sample_points
+
+EXPERIMENTS = 150
+
+
+def _dmr_detects(embedded, spec, inject_at, limit):
+    injector = None if spec.is_state else SignalInjector(spec)
+    core = LockstepCore(embedded, injector=injector)
+    from repro.faults.model import StateFaultApplier
+    applier = StateFaultApplier(spec, PERMANENT) if spec.is_state else None
+    try:
+        for step in range(limit):
+            if step == inject_at:
+                if applier is not None:
+                    applier.apply(core.primary)
+                else:
+                    injector.enable()
+            if core.primary.halted and core.shadow.halted:
+                return False
+            core.step()
+            if applier is not None and step >= inject_at:
+                applier.reassert(core.primary)
+    except Exception:  # LockstepMismatch or a replica crash = detection
+        return True
+    return False
+
+
+def _compare(experiments=EXPERIMENTS, seed=31):
+    campaign = Campaign(seed=seed)
+    rng = random.Random(seed)
+    golden_len = campaign.golden_length
+    limit = int(golden_len * 1.25) + 64
+    sampled = sample_points(campaign.points, experiments, rng)
+    argus_detected = dmr_detected = unmasked = 0
+    for point in sampled:
+        inject_at = rng.randrange(0, int(golden_len * 0.85))
+        result = campaign.run_experiment(point.spec, PERMANENT, inject_at)
+        if result.masked:
+            continue
+        unmasked += 1
+        if result.detected:
+            argus_detected += 1
+        if _dmr_detects(campaign.embedded, point.spec, inject_at, limit):
+            dmr_detected += 1
+    return unmasked, argus_detected, dmr_detected
+
+
+def test_dmr_vs_argus_coverage(benchmark):
+    unmasked, argus, dmr = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    areas = {row.name: row.core_overhead for row in related_work_comparison()}
+    argus_rate = argus / unmasked
+    dmr_rate = dmr / unmasked
+    print("\n  unmasked errors: %d" % unmasked)
+    print("  Argus-1 coverage: %5.1f%% at %5.1f%% area overhead"
+          % (100 * argus_rate, 100 * areas["Argus-1"]))
+    print("  DMR     coverage: %5.1f%% at %5.1f%% area overhead"
+          % (100 * dmr_rate, 100 * areas["DMR"]))
+    benchmark.extra_info["argus_coverage"] = round(argus_rate, 4)
+    benchmark.extra_info["dmr_coverage"] = round(dmr_rate, 4)
+    benchmark.extra_info["area_ratio"] = round(areas["DMR"] / areas["Argus-1"], 2)
+
+    assert unmasked > 30
+    assert dmr_rate >= 0.95  # DMR is the coverage gold standard
+    assert argus_rate > dmr_rate - 0.10  # Argus within a few points...
+    assert areas["DMR"] / areas["Argus-1"] > 5  # ...at ~6x less area

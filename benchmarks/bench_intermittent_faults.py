@@ -1,0 +1,49 @@
+"""Extension: intermittent faults - the third error class.
+
+The paper evaluates transient and permanent errors; marginal hardware
+that fails in recurring bursts (intermittents) sits between them.  This
+benchmark runs the same weighted campaign for all three durations and
+checks the expected ordering: intermittents recur like permanents, so
+Argus's coverage of unmasked intermittents matches the permanent row
+within a few points, while their masked share sits at or above the
+transient row (bursts can fall between uses of the faulty unit).
+"""
+
+from repro.faults.campaign import Campaign
+from repro.faults.model import INTERMITTENT, PERMANENT, TRANSIENT
+
+EXPERIMENTS = 250
+
+
+def _run_all():
+    campaign = Campaign(seed=404)
+    return {
+        duration: campaign.run(experiments=EXPERIMENTS, duration=duration)
+        for duration in (TRANSIENT, INTERMITTENT, PERMANENT)
+    }
+
+
+def test_intermittent_fault_class(benchmark):
+    summaries = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    print("\n  %-13s %8s %8s %8s %8s %10s" % (
+        "duration", "silent", "unm-det", "mask-und", "DME", "coverage"))
+    for duration, summary in summaries.items():
+        fractions = summary.fractions()
+        print("  %-13s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %9.1f%%" % (
+            duration,
+            100 * fractions["unmasked_undetected"],
+            100 * fractions["unmasked_detected"],
+            100 * fractions["masked_undetected"],
+            100 * fractions["masked_detected"],
+            100 * summary.unmasked_coverage))
+        benchmark.extra_info[duration + "_coverage"] = round(
+            summary.unmasked_coverage, 4)
+
+    intermittent = summaries[INTERMITTENT]
+    permanent = summaries[PERMANENT]
+    # Coverage of unmasked intermittents tracks the permanent row.
+    assert intermittent.unmasked_coverage > 0.90
+    assert abs(intermittent.unmasked_coverage
+               - permanent.unmasked_coverage) < 0.08
+    # Silent corruption stays rare for the new class too.
+    assert intermittent.fractions()["unmasked_undetected"] < 0.04

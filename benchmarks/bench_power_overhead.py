@@ -1,0 +1,35 @@
+"""Extension: the power analysis the paper defers to future work.
+
+Sec. 4.3: "The low area overhead of Argus-1 suggests that it has a
+fairly low power overhead, but we do not have reliable power analysis
+at this time."  The activity-based model quantifies the conjecture:
+each checker switches only when its host unit does, so the dynamic
+power overhead must land at or below the ~17% area overhead - and be
+workload-dependent through the instruction mix.
+"""
+
+from repro.area.components import core_overhead
+from repro.area.power import estimate_suite
+from repro.workloads import ALL_WORKLOADS
+
+
+def test_power_overhead(benchmark):
+    estimates, average = benchmark.pedantic(
+        estimate_suite, args=(ALL_WORKLOADS,), rounds=1, iterations=1)
+    print("\n  %-10s %10s %8s %8s" % ("bench", "power ovh", "mul%", "mem%"))
+    for estimate in estimates:
+        print("  %-10s %9.1f%% %7.1f%% %7.1f%%" % (
+            estimate.workload, 100 * estimate.overhead,
+            100 * estimate.class_fractions["muldiv"],
+            100 * estimate.class_fractions["mem"]))
+        benchmark.extra_info[estimate.workload] = round(estimate.overhead, 4)
+    benchmark.extra_info["average"] = round(average, 4)
+    area = core_overhead()
+    print("  average power overhead %.1f%% (core area overhead %.1f%%)"
+          % (100 * average, 100 * area))
+
+    assert 0.08 < average < 0.22  # "fairly low", same ballpark as area
+    assert average < area * 1.2  # checkers gated by their host units
+    spread = max(e.overhead for e in estimates) - min(
+        e.overhead for e in estimates)
+    assert spread > 0.005  # workload-dependent, not a constant

@@ -1,0 +1,31 @@
+"""Sec. 5: area/coverage comparison against the related schemes.
+
+Paper's argument, encoded as assertions: DMR and LEON-FT-style TMR cost
+about a full core; a DIVA checker approaches core size on single-issue
+in-order cores; BulletProof is cheap but misses transients; RMT needs
+SMT and ~30% throughput; software redundancy doubles runtime.  Argus-1
+is the cheapest scheme covering both transients and permanents.
+"""
+
+from repro.area.baselines import format_comparison, related_work_comparison
+
+
+def test_related_work_comparison(benchmark):
+    rows = benchmark(related_work_comparison)
+    print("\n" + format_comparison(rows))
+    by_name = {row.name: row for row in rows}
+    for row in rows:
+        benchmark.extra_info[row.name] = "%.1f%%" % (100 * row.core_overhead)
+
+    assert by_name["DMR"].core_overhead > 1.0
+    assert 0.75 < by_name["TMR-FF (LEON-FT)"].core_overhead < 1.3
+    assert by_name["DIVA checker"].core_overhead > 0.75
+    assert not by_name["BulletProof"].detects_transients
+    assert by_name["RMT"].performance_overhead >= 0.30
+    assert by_name["SWIFT (software)"].performance_overhead >= 0.5
+
+    full_coverage = [row for row in rows
+                     if row.detects_transients and row.detects_permanents]
+    cheapest = min(full_coverage, key=lambda row: row.core_overhead)
+    assert cheapest.name == "Argus-1"
+    assert cheapest.core_overhead < 0.20

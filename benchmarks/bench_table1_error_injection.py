@@ -1,0 +1,42 @@
+"""Table 1: error-injection quadrants (transient and permanent).
+
+Paper (Table 1): transient  0.76 / 37.4 / 38.2 / 23.7 %,
+                 permanent  0.46 / 37.6 / 38.2 / 23.7 %
+(silent / unmasked-detected / masked-undetected / DME, of all injections).
+Shape requirements: silent well under ~2%, unmasked coverage >90%, and
+roughly 60% of injections masked.
+"""
+
+from repro.eval import paper
+from repro.faults.campaign import Campaign
+from repro.faults.model import PERMANENT, TRANSIENT
+
+
+def _run_row(duration, experiments=150, seed=11):
+    campaign = Campaign(seed=seed)
+    return campaign.run(experiments=experiments, duration=duration)
+
+
+def _record(benchmark, summary, reference):
+    fractions = summary.fractions()
+    for key, value in fractions.items():
+        benchmark.extra_info[key] = round(value, 4)
+        benchmark.extra_info["paper_" + key] = reference[key]
+    benchmark.extra_info["unmasked_coverage"] = round(summary.unmasked_coverage, 4)
+    print("\n  measured:", {k: "%.2f%%" % (100 * v) for k, v in fractions.items()})
+    print("  paper:   ", {k: "%.2f%%" % (100 * v) for k, v in reference.items()})
+    assert fractions["unmasked_undetected"] < 0.04
+    assert summary.unmasked_coverage > 0.90
+    assert 0.45 < fractions["masked_undetected"] + fractions["masked_detected"] < 0.75
+
+
+def test_table1_transient_row(benchmark):
+    summary = benchmark.pedantic(
+        _run_row, args=(TRANSIENT,), rounds=1, iterations=1)
+    _record(benchmark, summary, paper.TABLE1["transient"])
+
+
+def test_table1_permanent_row(benchmark):
+    summary = benchmark.pedantic(
+        _run_row, args=(PERMANENT,), rounds=1, iterations=1)
+    _record(benchmark, summary, paper.TABLE1["permanent"])

@@ -1,0 +1,24 @@
+"""Table 2: area overhead of Argus-1 (core, caches, total chip).
+
+Paper: core 6.58 -> 7.67 mm^2 (+16.6%), I-cache +0%, D-cache +4.9/5.1%,
+total chip +10.9% (1-way) / +10.6% (2-way).  The baseline core area
+calibrates the gate-area constant; every overhead percentage is a model
+output and must land near the paper's.
+"""
+
+from repro.area.report import area_table, format_area_table
+from repro.eval import paper
+
+
+def test_table2_area(benchmark):
+    rows = benchmark(area_table)
+    print("\n" + format_area_table(rows))
+    by_label = {row.label: row for row in rows}
+    for label, (base, argus, overhead) in paper.TABLE2.items():
+        row = by_label[label]
+        benchmark.extra_info[label] = "%.2f->%.2f (%.1f%%)" % (
+            row.baseline_mm2, row.argus_mm2, 100 * row.overhead)
+        assert abs(row.overhead - overhead) < 0.03, label
+    assert by_label["core"].overhead < 0.20  # "<17%"-class headline
+    assert by_label["I-cache: 1-way"].overhead == 0.0
+    assert by_label["total: 1-way"].overhead < by_label["core"].overhead

@@ -1,0 +1,32 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper; the
+measured numbers land in ``benchmark.extra_info`` (visible in
+``--benchmark-verbose`` / JSON output) and are printed for eyeballing
+with ``-s``.  Campaign sizes default to a few hundred experiments so the
+whole suite runs in minutes; the full-scale run lives in
+``python -m repro.eval.report``.
+"""
+
+import pytest
+
+from repro.faults.campaign import Campaign
+from repro.faults.model import PERMANENT, TRANSIENT
+
+#: Experiments per error type for the benchmark-sized campaigns.
+BENCH_EXPERIMENTS = 400
+
+
+@pytest.fixture(scope="session")
+def campaign():
+    """One shared stress-test campaign (golden trace computed once)."""
+    return Campaign(seed=2007)
+
+
+@pytest.fixture(scope="session")
+def campaign_summaries(campaign):
+    """Transient + permanent campaign results, shared by several benches."""
+    return {
+        TRANSIENT: campaign.run(experiments=BENCH_EXPERIMENTS, duration=TRANSIENT),
+        PERMANENT: campaign.run(experiments=BENCH_EXPERIMENTS, duration=PERMANENT),
+    }

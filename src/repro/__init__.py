@@ -1,0 +1,29 @@
+"""Argus: low-cost, comprehensive error detection in simple cores.
+
+A complete Python reproduction of Meixner, Bauer & Sorin (MICRO 2007):
+the ``orr`` ISA and assembler, the OR1200-like 4-stage in-order core,
+the 8KB cache hierarchy, the Argus-1 checkers (unified control-flow/
+dataflow DCS checking, computation sub-checkers, parity dataflow-value
+checking, the memory checker and the liveness watchdog), the signature-
+embedding toolchain, a gate-weighted fault-injection campaign, an area
+model, a MediaBench-like workload suite, and an evaluation harness that
+regenerates every table and figure of the paper.
+
+Quickstart::
+
+    from repro.toolchain import embed_program
+    from repro.cpu import CheckedCore
+
+    embedded = embed_program(my_assembly_source)
+    core = CheckedCore(embedded)    # all Argus-1 checkers armed
+    core.run()                      # raises ArgusError on detection
+
+See README.md for the full tour and DESIGN.md for the system inventory.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "isa", "asm", "toolchain", "cpu", "mem", "argus", "faults", "area",
+    "workloads", "eval",
+]

@@ -1,0 +1,54 @@
+"""Area modelling (paper Sec. 4.3, Table 2).
+
+The paper lays out the OR1200 with and without Argus-1 using Synopsys
+Design Compiler + Cadence Silicon Ensemble on the VTVT 0.25um standard
+cell library, and sizes the 8KB caches with Cacti 3.0.  Neither CAD tool
+exists here, so this package substitutes analytical models:
+
+* :mod:`repro.area.components` - per-component gate inventories (shared
+  with the fault campaign's point weighting) times a per-gate standard-
+  cell area constant.  The constant is *calibrated once* so the baseline
+  OR1200 lands at the paper's 6.58 mm^2; the Argus overhead percentage is
+  then a genuine model output (gates of checker logic / gates of core).
+* :mod:`repro.area.cache` - a reduced Cacti-style SRAM model (data array
+  + tag array + fitted periphery), calibrated at the paper's 8 KB
+  direct-mapped/2-way points; Argus's data-cache parity bit and check
+  logic are structural additions on top.
+* :mod:`repro.area.baselines` - area models of the related-work schemes
+  of Sec. 5 (DMR, LEON-FT-style TMR flip-flops, DIVA checker cores,
+  BulletProof) for the comparison benchmark.
+"""
+
+from repro.area.components import (
+    AREA_PER_GATE_MM2,
+    core_area_baseline,
+    core_area_argus,
+    core_overhead,
+    component_areas,
+)
+from repro.area.cache import (
+    CacheAreaModel,
+    cache_area,
+    argus_dcache_area,
+)
+from repro.area.power import PowerEstimate, estimate_power, estimate_suite
+from repro.area.report import area_table, AreaRow
+from repro.area.baselines import related_work_comparison, SchemeArea
+
+__all__ = [
+    "AREA_PER_GATE_MM2",
+    "core_area_baseline",
+    "core_area_argus",
+    "core_overhead",
+    "component_areas",
+    "CacheAreaModel",
+    "cache_area",
+    "argus_dcache_area",
+    "PowerEstimate",
+    "estimate_power",
+    "estimate_suite",
+    "area_table",
+    "AreaRow",
+    "related_work_comparison",
+    "SchemeArea",
+]

@@ -1,0 +1,62 @@
+"""Core area from per-component gate inventories.
+
+The gate inventory lives in :mod:`repro.faults.points` (the fault
+campaign weights its injection points with the same numbers - one
+inventory, two consumers).  Area = gates x a per-gate standard-cell area
+constant for the VTVT 0.25um library, including routing overhead.
+
+Calibration: ``AREA_PER_GATE_MM2`` is chosen so the *baseline* OR1200
+comes out at the paper's 6.58 mm^2 (Table 2).  Everything downstream -
+the Argus core area, the 16-17% overhead, the total-chip overhead - is
+computed, not copied.
+"""
+
+from repro.faults.points import (
+    ARGUS_COMPONENTS,
+    BASELINE_COMPONENTS,
+    GATE_INVENTORY,
+)
+
+#: Paper Table 2: unmodified OR1200 core area (2.565 mm x 2.565 mm).
+PAPER_BASELINE_CORE_MM2 = 6.58
+
+_BASELINE_GATES = sum(GATE_INVENTORY[c] for c in BASELINE_COMPONENTS)
+_ARGUS_GATES = sum(GATE_INVENTORY[c] for c in ARGUS_COMPONENTS)
+
+#: Calibrated VTVT 0.25um effective area per gate (logic + local routing).
+AREA_PER_GATE_MM2 = PAPER_BASELINE_CORE_MM2 / _BASELINE_GATES
+
+
+def component_areas():
+    """mm^2 per component, baseline and Argus parts alike."""
+    return {name: gates * AREA_PER_GATE_MM2 for name, gates in GATE_INVENTORY.items()}
+
+
+def core_area_baseline():
+    """Area of the unmodified OR1200 core (mm^2)."""
+    return _BASELINE_GATES * AREA_PER_GATE_MM2
+
+
+def core_area_argus():
+    """Area of the core with Argus-1 integrated (mm^2).
+
+    The additions (Sec. 4.3): widened datapaths/registers for the parity
+    bit and 5 SHS bits per datum, CRC logic and the XOR tree for SHS/DCS
+    computation, DCS extraction logic, the computation sub-checkers, and
+    control/watchdog - all represented in the gate inventory.
+    """
+    return (_BASELINE_GATES + _ARGUS_GATES) * AREA_PER_GATE_MM2
+
+
+def core_overhead():
+    """Fractional core area overhead of Argus-1 (paper: 16.6%)."""
+    return (core_area_argus() - core_area_baseline()) / core_area_baseline()
+
+
+def argus_breakdown():
+    """mm^2 of each Argus addition, largest first (Sec. 4.3 narrative:
+    dataflow/control-flow checking dominates, computation checkers are
+    second)."""
+    areas = component_areas()
+    argus = {name: areas[name] for name in ARGUS_COMPONENTS}
+    return dict(sorted(argus.items(), key=lambda kv: -kv[1]))

@@ -1,0 +1,119 @@
+"""Activity-based power model (the paper's stated future work, Sec. 4.3:
+"The low area overhead of Argus-1 suggests that it has a fairly low
+power overhead, but we do not have reliable power analysis at this
+time.  We plan to quantify Argus-1's power overhead in the future.")
+
+Dynamic power of a component scales with gates x activity factor; the
+activity factors come from a workload's measured instruction mix (the
+fraction of cycles each unit actually switches).  Argus-1's additions
+switch exactly when their host units do - the SHS datapath and parity
+trees on every instruction, each sub-checker when its functional unit
+fires, the DCS fold once per basic block - so the overhead estimate is
+a genuine function of workload behaviour, not a copied constant.
+
+All results are *relative* (normalized to the baseline core's dynamic
+power); absolute milliwatts would need the library's switching energies,
+which the paper itself did not have.
+"""
+
+from dataclasses import dataclass
+
+from repro.cpu.fastcore import FastCore
+from repro.faults.points import GATE_INVENTORY
+from repro.isa import opcodes as oc
+
+#: Activity classes: which dynamic-instruction fractions drive each
+#: component's switching.  "always" components switch every cycle.
+_BASELINE_ACTIVITY = {
+    "regfile": ("always", 0.9),
+    "alu": ("alu", 1.0),
+    "muldiv": ("muldiv", 1.0),
+    "lsu": ("mem", 1.0),
+    "fetch": ("always", 1.0),
+    "decode": ("always", 0.8),
+    "operand_bus": ("always", 0.8),
+    "flag": ("compare", 1.0),
+    "stall_ctl": ("always", 0.3),
+}
+
+_ARGUS_ACTIVITY = {
+    "shs_datapath": ("always", 0.8),  # SHS travels with every operand
+    "parity": ("always", 0.6),  # parity checked at every use point
+    "adder_checker": ("alu_or_mem", 1.0),  # replays adds + addresses
+    "rsse_checker": ("shift_or_mem", 1.0),
+    "modulo_checker": ("muldiv", 1.0),
+    "cfc": ("block_end", 1.0),
+}
+
+
+@dataclass(frozen=True)
+class PowerEstimate:
+    """Relative dynamic power, baseline vs with Argus-1."""
+
+    workload: str
+    baseline: float  # normalized to 1.0
+    argus: float
+    class_fractions: dict
+
+    @property
+    def overhead(self):
+        return (self.argus - self.baseline) / self.baseline
+
+
+def activity_fractions(histogram, instructions, blocks_executed=None):
+    """Dynamic fractions of each activity class from an op histogram."""
+    if not instructions:
+        raise ValueError("empty run")
+
+    def fraction(ops):
+        return sum(histogram.get(op, 0) for op in ops) / instructions
+
+    alu_ops = (set(oc.ALU_FUNC) - oc.MULDIV_OPS) | {
+        oc.Op.ADDI, oc.Op.ANDI, oc.Op.ORI, oc.Op.XORI, oc.Op.MOVHI,
+        oc.Op.SLLI, oc.Op.SRLI, oc.Op.SRAI,
+    }
+    shift_ops = oc.SHIFT_OPS | oc.EXT_OPS
+    mem_ops = oc.MEM_OPS
+    branches = oc.BRANCH_OPS
+    if blocks_executed is None:
+        # Every branch ends a block; fall-through boundaries add a few.
+        blocks_executed = sum(histogram.get(op, 0) for op in branches)
+    return {
+        "always": 1.0,
+        "alu": fraction(alu_ops),
+        "muldiv": fraction(oc.MULDIV_OPS),
+        "mem": fraction(mem_ops),
+        "compare": fraction(oc.COMPARE_OPS),
+        "alu_or_mem": fraction(alu_ops) + fraction(mem_ops),
+        "shift_or_mem": fraction(shift_ops) + fraction(mem_ops),
+        "block_end": min(blocks_executed / instructions, 1.0),
+    }
+
+
+def _component_power(table, fractions):
+    power = 0.0
+    for component, (klass, utilization) in table.items():
+        power += GATE_INVENTORY[component] * fractions[klass] * utilization
+    return power
+
+
+def estimate_power(workload, max_instructions=50_000_000):
+    """Run a workload's base binary and estimate the Argus power overhead."""
+    core = FastCore(workload.build_base(), collect_histogram=True)
+    result = core.run(max_instructions=max_instructions)
+    fractions = activity_fractions(result.op_histogram, result.instructions)
+    baseline = _component_power(_BASELINE_ACTIVITY, fractions)
+    argus_extra = _component_power(_ARGUS_ACTIVITY, fractions)
+    return PowerEstimate(
+        workload=workload.name,
+        baseline=1.0,
+        argus=(baseline + argus_extra) / baseline,
+        class_fractions=fractions,
+    )
+
+
+def estimate_suite(workloads):
+    """Per-workload power estimates plus the suite average overhead."""
+    estimates = [estimate_power(workload) for workload in workloads]
+    average = sum(e.overhead for e in estimates) / len(estimates)
+    return estimates, average

@@ -1,0 +1,60 @@
+"""Table 2 regeneration: area with and without Argus-1, in mm^2."""
+
+from dataclasses import dataclass
+
+from repro.area.cache import argus_dcache_area, cache_area
+from repro.area.components import core_area_argus, core_area_baseline
+
+
+@dataclass(frozen=True)
+class AreaRow:
+    """One row of Table 2."""
+
+    label: str
+    baseline_mm2: float
+    argus_mm2: float
+
+    @property
+    def overhead(self):
+        if self.baseline_mm2 == 0:
+            return 0.0
+        return (self.argus_mm2 - self.baseline_mm2) / self.baseline_mm2
+
+    def formatted(self):
+        return "%-16s %8.2f %12.2f %9.1f%%" % (
+            self.label, self.baseline_mm2, self.argus_mm2, 100 * self.overhead,
+        )
+
+
+def area_table(cache_kb=8, line_bytes=16):
+    """All rows of Table 2 (core, I$/D$ 1-way and 2-way, totals)."""
+    size = cache_kb * 1024
+    core_base = core_area_baseline()
+    core_argus = core_area_argus()
+    rows = [AreaRow("core", core_base, core_argus)]
+    icache = {}
+    dcache_base = {}
+    dcache_argus = {}
+    for ways in (1, 2):
+        icache[ways] = cache_area(size_bytes=size, ways=ways, line_bytes=line_bytes)
+        dcache_base[ways] = icache[ways]
+        dcache_argus[ways] = argus_dcache_area(size_bytes=size, ways=ways,
+                                               line_bytes=line_bytes)
+        # Argus adds no I-cache parity (errors surface at the DCS check).
+        rows.append(AreaRow("I-cache: %d-way" % ways, icache[ways], icache[ways]))
+    for ways in (1, 2):
+        rows.append(AreaRow("D-cache: %d-way" % ways, dcache_base[ways],
+                            dcache_argus[ways]))
+    for ways in (1, 2):
+        total_base = core_base + icache[ways] + dcache_base[ways]
+        total_argus = core_argus + icache[ways] + dcache_argus[ways]
+        rows.append(AreaRow("total: %d-way" % ways, total_base, total_argus))
+    return rows
+
+
+def format_area_table(rows=None):
+    """Human-readable Table 2."""
+    rows = rows if rows is not None else area_table()
+    lines = ["%-16s %8s %12s %10s" % ("", "OR1200", "With Argus-1", "Overhead")]
+    lines.extend(row.formatted() for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""The unified control-flow/dataflow check at block boundaries (Sec. 3.2).
+
+At the end of every basic block the dataflow hardware folds the SHS file
+into the computed DCS; the control-flow checker compares it against the
+DCS it *anticipated* when the previous block chose its successor, then
+selects the anticipated DCS for the next block:
+
+* conditional terminals pick between the embedded taken/fall-through
+  DCSs using the (computation-checked) branch flag;
+* direct jumps/calls use the embedded target DCS;
+* indirect jumps take the DCS from the 5 MSBs of the target register;
+* fall-through terminals (Signature-T) use the single embedded DCS.
+
+A mismatch means the executed block's dataflow or the inter-block control
+transfer differed from the program - barring 1-in-32 DCS aliasing, an
+error is detected (Appendix B, CFC/DFC_S cases).
+"""
+
+from repro.argus.errors import ControlFlowError
+
+
+def _no_tap(_name, value):
+    return value
+
+
+class ControlFlowChecker:
+    """Tracks the anticipated DCS across block boundaries."""
+
+    def __init__(self, entry_dcs, tap=None):
+        self.expected = entry_dcs
+        self.blocks_checked = 0
+        self._tap = tap or _no_tap
+
+    def block_end(self, computed_dcs, kind, fields, taken=None,
+                  indirect_dcs=None, pc=0, cycle=0, instret=0):
+        """Check the finished block and choose the next anticipated DCS.
+
+        Returns the DCS anticipated for the next block (None after a
+        ``halt`` terminal).  Raises :class:`ControlFlowError` on mismatch.
+        """
+        computed = self._tap("cfc.computed", computed_dcs) & 0x1F
+        expected = self._tap("cfc.expected", self.expected) & 0x1F
+        self.blocks_checked += 1
+        if computed != expected:
+            raise ControlFlowError(
+                "DCS mismatch: computed 0x%02x != expected 0x%02x (%s block)"
+                % (computed, expected, kind),
+                pc=pc, cycle=cycle, instret=instret,
+                block_index=self.blocks_checked,
+            )
+        if kind == "cond":
+            if taken is None:
+                raise ValueError("conditional terminal needs the branch direction")
+            nxt = fields["taken"] if taken else fields["fallthrough"]
+        elif kind == "jump":
+            nxt = fields["target"]
+        elif kind == "call":
+            nxt = fields["target"]
+        elif kind == "indirect" or kind == "indirect_call":
+            if indirect_dcs is None:
+                raise ValueError("indirect terminal needs the register DCS")
+            nxt = indirect_dcs
+        elif kind == "fallthrough":
+            nxt = fields["next"]
+        elif kind == "halt":
+            nxt = None
+        else:
+            raise ValueError("unknown terminal kind %r" % (kind,))
+        self.expected = None if nxt is None else (nxt & 0x1F)
+        return self.expected
+
+    # -- fault hook --------------------------------------------------------
+    def corrupt_expected(self, bit):
+        """Flip a bit of the anticipated-DCS latch (checker-state fault)."""
+        if self.expected is not None:
+            self.expected ^= (1 << bit) & 0x1F

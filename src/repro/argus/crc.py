@@ -1,0 +1,49 @@
+"""CRC5 hash used for all Argus-1 history updates (paper Sec. 3.2.2).
+
+Argus-1 computes SHS history updates "using CRC5 as a hash function".  We
+use the CRC-5/USB generator polynomial x^5 + x^2 + 1 (0x05), MSB-first,
+no reflection, zero initial state.  The exact polynomial is irrelevant to
+the scheme as long as compiler and hardware agree; what matters for
+fidelity is the 5-bit width, which gives the paper's 1/32 aliasing odds.
+"""
+
+_POLY = 0x05
+_WIDTH = 5
+_TOP = 1 << (_WIDTH - 1)
+_MASK = (1 << _WIDTH) - 1
+
+
+def crc5_byte(state, byte):
+    """Advance the CRC state by one message byte (MSB first)."""
+    reg = state & _MASK
+    for i in range(7, -1, -1):
+        incoming = (byte >> i) & 1
+        feedback = ((reg >> (_WIDTH - 1)) & 1) ^ incoming
+        reg = (reg << 1) & _MASK
+        if feedback:
+            reg ^= _POLY
+    return reg
+
+
+def crc5_bytes(data, state=0):
+    """CRC5 over an iterable of bytes."""
+    for byte in data:
+        state = crc5_byte(state, byte)
+    return state & _MASK
+
+
+def crc5_bits(value, nbits, state=0):
+    """CRC5 over the low ``nbits`` of ``value``, MSB first."""
+    reg = state & _MASK
+    for i in range(nbits - 1, -1, -1):
+        incoming = (value >> i) & 1
+        feedback = ((reg >> (_WIDTH - 1)) & 1) ^ incoming
+        reg = (reg << 1) & _MASK
+        if feedback:
+            reg ^= _POLY
+    return reg
+
+
+def crc5_word(word, state=0):
+    """CRC5 over a 32-bit word (big-endian bit order)."""
+    return crc5_bits(word & 0xFFFFFFFF, 32, state)

@@ -1,0 +1,57 @@
+"""Dataflow and Control Signature (DCS) computation - paper Sec. 3.2.2.
+
+The block DCS is derived from all SHSs after the block's last instruction
+commits: the SHS bits are run "through a hard-wired bit permutation and
+then ... through an XOR tree that computes the final 5-bit DCS".  The
+permutation makes the DCS depend not just on the *set* of SHS values but
+on their *assignment to registers*, so an error that writes the right
+value history to the wrong register still perturbs the DCS.
+
+The permutation here is a fixed pseudo-random table generated once from a
+constant seed - the software analogue of a hard-wired wire swizzle.
+"""
+
+import random
+
+from repro.argus import shs as shs_mod
+
+DCS_BITS = 5
+DCS_MASK = (1 << DCS_BITS) - 1
+
+_TOTAL_BITS = shs_mod.NUM_LOCATIONS * shs_mod.SHS_BITS
+
+
+def _build_permutation():
+    rng = random.Random(0xA1905)  # fixed: this is hard-wired in silicon
+    order = list(range(_TOTAL_BITS))
+    rng.shuffle(order)
+    return tuple(order)
+
+
+#: PERMUTATION[i] = source flat-bit index routed to folded position i.
+PERMUTATION = _build_permutation()
+
+
+def compute_dcs(shs_values):
+    """Fold a full SHS snapshot (35 x 5-bit values) into the 5-bit DCS."""
+    # Flatten location signatures into one bit vector, MSB of location 0
+    # first, mirroring the wide SHS register of Argus-1.
+    flat = 0
+    for value in shs_values:
+        flat = (flat << shs_mod.SHS_BITS) | (value & shs_mod.SHS_MASK)
+    # Hard-wired permutation.
+    permuted = 0
+    for i, src in enumerate(PERMUTATION):
+        if (flat >> src) & 1:
+            permuted |= 1 << i
+    # XOR tree: fold the permuted vector down to DCS_BITS.
+    dcs = 0
+    while permuted:
+        dcs ^= permuted & DCS_MASK
+        permuted >>= DCS_BITS
+    return dcs
+
+
+def dcs_of_file(shs_file):
+    """DCS of a live :class:`~repro.argus.shs.ShsFile`."""
+    return compute_dcs(shs_file.values)

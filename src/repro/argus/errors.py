@@ -1,0 +1,87 @@
+"""Detection events and error types raised by the Argus-1 checkers.
+
+The paper attributes detections to four mechanisms (Sec. 4.1.1):
+computation checkers (45% of detections), parity on operands/registers/
+load values (36%), the DCS comparison (16%) and the watchdog (3%).  Every
+detection carries a ``checker`` tag from the same taxonomy so the
+evaluation harness can regenerate that attribution.
+"""
+
+from dataclasses import dataclass
+
+CHECKER_COMPUTATION = "computation"
+CHECKER_PARITY = "parity"
+CHECKER_CONTROL_FLOW = "dcs"
+CHECKER_MEMORY = "memory"
+CHECKER_WATCHDOG = "watchdog"
+
+ALL_CHECKERS = (
+    CHECKER_COMPUTATION,
+    CHECKER_PARITY,
+    CHECKER_CONTROL_FLOW,
+    CHECKER_MEMORY,
+    CHECKER_WATCHDOG,
+)
+
+
+@dataclass(frozen=True)
+class DetectionEvent:
+    """A checker firing: what fired, where, and when."""
+
+    checker: str
+    detail: str
+    pc: int = 0
+    cycle: int = 0
+    instret: int = 0
+    block_index: int = 0
+
+    def __str__(self):
+        return "[%s] %s at pc=0x%x cycle=%d" % (self.checker, self.detail, self.pc, self.cycle)
+
+
+class ArgusError(Exception):
+    """Base class: a checker detected an error (execution stops for
+    recovery; Argus-1 assumes SafetyNet-style backward error recovery)."""
+
+    checker = "argus"
+
+    def __init__(self, detail, pc=0, cycle=0, instret=0, block_index=0):
+        super().__init__(detail)
+        self.event = DetectionEvent(
+            checker=self.checker,
+            detail=detail,
+            pc=pc,
+            cycle=cycle,
+            instret=instret,
+            block_index=block_index,
+        )
+
+
+class ControlFlowError(ArgusError):
+    """DCS mismatch at a block boundary (control-flow or dataflow shape)."""
+
+    checker = CHECKER_CONTROL_FLOW
+
+
+class DataflowParityError(ArgusError):
+    """Parity mismatch on a register, operand bus or load value."""
+
+    checker = CHECKER_PARITY
+
+
+class ComputationCheckError(ArgusError):
+    """A functional-unit sub-checker disagreed with the unit's result."""
+
+    checker = CHECKER_COMPUTATION
+
+
+class MemoryCheckError(ArgusError):
+    """The memory checker flagged a wrong-word access or data corruption."""
+
+    checker = CHECKER_MEMORY
+
+
+class WatchdogError(ArgusError):
+    """The liveness watchdog saturated (63 consecutive stall cycles)."""
+
+    checker = CHECKER_WATCHDOG

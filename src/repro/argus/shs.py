@@ -1,0 +1,222 @@
+"""State History Signatures (SHS) - paper Sec. 3.2.2, "DCS Computation".
+
+A 5-bit SHS is kept for every architectural location: the 32 registers,
+the program counter (``LOC_PC``), memory (``LOC_MEM``) and the condition
+flag (``LOC_FLAG``; the OR1200 keeps its compare flag in SR, and since
+branches consume it, it is an architectural location in the sense of
+Appendix A).  An SHS encodes the *creation history* of the location's
+current value - the operations and operand histories involved - but never
+the data values themselves.
+
+SHSs reset to location-specific initial values at every basic-block
+boundary, so the end-of-block DCS depends only on the block's internal
+dataflow and is computable at compile time.  The same
+:func:`apply_instruction` transfer function is used by the hardware model
+(:class:`repro.cpu.checkedcore.CheckedCore`) and the static embedder
+(:mod:`repro.toolchain.embed`), which *is* the correctness condition the
+control-flow/dataflow checker enforces.
+"""
+
+from repro.argus.crc import crc5_bits, crc5_word
+from repro.isa import registers
+from repro.isa.encoding import spare_bit_positions
+from repro.isa.opcodes import Op
+
+SHS_BITS = 5
+SHS_MASK = (1 << SHS_BITS) - 1
+
+NUM_REG_LOCATIONS = registers.NUM_REGS
+LOC_PC = 32
+LOC_MEM = 33
+LOC_FLAG = 34
+NUM_LOCATIONS = 35
+
+# Non-register initial values are arbitrary fixed constants; uniqueness is
+# only required across the 32 registers (the paper picks 5 bits precisely
+# because it is the smallest width giving every register a unique value).
+_EXTRA_INITIALS = {LOC_PC: 0x11, LOC_MEM: 0x16, LOC_FLAG: 0x1D}
+
+
+def initial_shs(location):
+    """Location-specific reset value of an SHS."""
+    if location < NUM_REG_LOCATIONS:
+        return location & SHS_MASK
+    return _EXTRA_INITIALS[location]
+
+
+def canonical_word(instr):
+    """Instruction word with all spare bits cleared.
+
+    Operation identifiers must hash the *architectural* content of the
+    instruction only: the embedder computes static DCSs before the spare
+    bits receive their payload, and the hardware must derive the same id
+    after they have.
+    """
+    word = instr.word
+    for pos in spare_bit_positions(instr.op):
+        word &= ~(1 << pos)
+    return word & 0xFFFFFFFF
+
+
+_OP_ID_CACHE = {}
+
+
+def op_identifier(instr):
+    """5-bit operation id hashed over the canonical instruction word.
+
+    Covers opcode, function/condition codes, register specifiers and
+    immediates - Appendix A folds immediates into the instruction
+    specification, so a decode fault that corrupts an immediate perturbs
+    the id and therefore the block DCS.
+    """
+    word = canonical_word(instr)
+    ident = _OP_ID_CACHE.get(word)
+    if ident is None:
+        ident = crc5_word(word)
+        _OP_ID_CACHE[word] = ident
+    return ident
+
+
+_COMBINE_CACHE = {}
+
+
+def shs_combine(op_id, *input_shs):
+    """New output SHS from the operation id and the input SHSs (CRC5)."""
+    key = (op_id,) + input_shs
+    result = _COMBINE_CACHE.get(key)
+    if result is None:
+        state = crc5_bits(op_id & SHS_MASK, SHS_BITS)
+        for shs in input_shs:
+            state = crc5_bits(shs & SHS_MASK, SHS_BITS, state)
+        result = state
+        _COMBINE_CACHE[key] = result
+    return result
+
+
+class ShsFile:
+    """The SHS register file: one 5-bit signature per location.
+
+    In Argus-1 hardware the 32 register SHSs form one wide 160-bit
+    register that can be read/reset in parallel; here that simply means a
+    list.  ``corrupt`` supports fault injection into the checker state
+    itself (such faults must never cause silent corruption - at worst a
+    detected masked error).
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self):
+        self.values = [initial_shs(i) for i in range(NUM_LOCATIONS)]
+
+    def reset(self):
+        """Block-boundary reset to the location-specific initial values."""
+        values = self.values
+        for i in range(NUM_LOCATIONS):
+            values[i] = initial_shs(i)
+
+    def read(self, location):
+        return self.values[location]
+
+    def write(self, location, shs):
+        # r0 is hard-wired: its history never changes, mirroring the
+        # architectural register.
+        if location == 0:
+            return
+        self.values[location] = shs & SHS_MASK
+
+    def corrupt(self, location, bit):
+        """Flip one bit of one SHS (checker-hardware fault injection)."""
+        self.values[location] ^= (1 << bit) & SHS_MASK
+
+    def snapshot(self):
+        return tuple(self.values)
+
+
+def apply_instruction(shs_file, instr, shs_overrides=None, dest_override=None):
+    """Apply one instruction's SHS transfer function to ``shs_file``.
+
+    ``shs_overrides`` optionally maps register index -> SHS value to use
+    for that register input instead of the stored one; the checked core
+    uses this to model SHS values travelling with operands through the
+    (possibly faulted) datapath.  ``dest_override`` redirects a
+    register-destination write to a different register index, modelling
+    that the SHS shares the (possibly faulted) write port with the data -
+    which is what makes the permuted DCS catch wrong-destination errors.
+    The embedder calls this with neither to compute static DCSs.
+
+    Returns the output SHS written (or None for instructions with no SHS
+    output, i.e. nop/sig/halt).
+    """
+    op = instr.op
+    if op is Op.NOP or op is Op.SIG or op is Op.HALT:
+        return None
+
+    def in_shs(reg):
+        if shs_overrides is not None and reg in shs_overrides:
+            return shs_overrides[reg]
+        return shs_file.read(reg)
+
+    def dest(reg):
+        return reg if dest_override is None else dest_override
+
+    op_id = op_identifier(instr)
+
+    if instr.is_load:
+        # The loaded value's history starts fresh at the load (memory
+        # dataflow is not SHS-tracked; see paper footnote 1); the address
+        # register's history is an input.
+        out = shs_combine(op_id, in_shs(instr.ra))
+        shs_file.write(dest(instr.rd), out)
+        return out
+    if instr.is_store:
+        # SHS_mem accumulates a hash of every store's output SHS so that
+        # operand delivery to the memory system is covered.
+        store_out = shs_combine(op_id, in_shs(instr.ra), in_shs(instr.rb))
+        merged = shs_combine(store_out, shs_file.read(LOC_MEM))
+        shs_file.write(LOC_MEM, merged)
+        return merged
+    if op is Op.SF:
+        out = shs_combine(op_id, in_shs(instr.ra), in_shs(instr.rb))
+        shs_file.write(LOC_FLAG, out)
+        return out
+    if op is Op.SFI:
+        out = shs_combine(op_id, in_shs(instr.ra))
+        shs_file.write(LOC_FLAG, out)
+        return out
+    if op is Op.BF or op is Op.BNF:
+        out = shs_combine(op_id, shs_file.read(LOC_FLAG))
+        shs_file.write(LOC_PC, out)
+        return out
+    if op is Op.J:
+        out = shs_combine(op_id)
+        shs_file.write(LOC_PC, out)
+        return out
+    if op is Op.JAL:
+        out = shs_combine(op_id)
+        shs_file.write(LOC_PC, out)
+        shs_file.write(registers.LINK_REG, shs_combine(op_id, 0x01))
+        return out
+    if op is Op.JR:
+        out = shs_combine(op_id, in_shs(instr.rb))
+        shs_file.write(LOC_PC, out)
+        return out
+    if op is Op.JALR:
+        out = shs_combine(op_id, in_shs(instr.rb))
+        shs_file.write(LOC_PC, out)
+        shs_file.write(registers.LINK_REG, shs_combine(op_id, 0x01))
+        return out
+    if op is Op.MOVHI:
+        out = shs_combine(op_id)
+        shs_file.write(dest(instr.rd), out)
+        return out
+    if op in (Op.ADDI, Op.ANDI, Op.ORI, Op.XORI, Op.SLLI, Op.SRLI, Op.SRAI):
+        out = shs_combine(op_id, in_shs(instr.ra))
+        shs_file.write(dest(instr.rd), out)
+        return out
+    # Register-register ALU, muldiv and extensions.
+    if instr.reads_rb:
+        out = shs_combine(op_id, in_shs(instr.ra), in_shs(instr.rb))
+    else:
+        out = shs_combine(op_id, in_shs(instr.ra))
+    shs_file.write(dest(instr.rd), out)
+    return out

@@ -1,0 +1,43 @@
+"""Liveness watchdog (paper Sec. 3.2.2, "Checking Liveness").
+
+A 6-bit counter: reset every cycle the pipeline makes progress,
+incremented while it is stalled; an error is signalled when it saturates
+after 63 consecutive stall cycles.  Together with the embedder's bound on
+basic-block size, this bounds the time between control-flow checks.
+"""
+
+DEFAULT_THRESHOLD = 63  # saturation of a 6-bit counter
+
+
+class Watchdog:
+    """Stall-cycle saturating counter."""
+
+    def __init__(self, threshold=DEFAULT_THRESHOLD):
+        if threshold < 1:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+        self.counter = 0
+        self.fired = False
+
+    def tick(self, stalled):
+        """Advance one cycle; returns True when the watchdog fires."""
+        if stalled:
+            if self.counter < self.threshold:
+                self.counter += 1
+            if self.counter >= self.threshold:
+                self.fired = True
+                return True
+        else:
+            self.counter = 0
+        return False
+
+    def run_stalled(self, cycles):
+        """Tick ``cycles`` consecutive stall cycles; True if it fires."""
+        fired = False
+        for _ in range(cycles):
+            fired = self.tick(True) or fired
+        return fired
+
+    def reset(self):
+        self.counter = 0
+        self.fired = False

@@ -1,0 +1,37 @@
+"""Two-pass assembler for the ``orr`` ISA.
+
+The assembler parses textual assembly into an IR (:mod:`repro.asm.ir`),
+lays out text/data sections, resolves labels, and encodes a
+:class:`~repro.asm.program.Program`.  The Argus toolchain
+(:mod:`repro.toolchain`) operates on the same IR so it can insert
+Signature instructions and re-assemble before computing and embedding
+DCSs.
+
+Public API::
+
+    from repro.asm import parse, assemble
+    program = assemble(parse(source_text))
+"""
+
+from repro.asm.ir import Label, Insn, Directive, Reg, Imm, Sym, Mem
+from repro.asm.parser import parse, AsmSyntaxError
+from repro.asm.assembler import assemble, AsmError
+from repro.asm.program import Program
+from repro.asm.disassembler import disassemble_word, disassemble_program
+
+__all__ = [
+    "parse",
+    "assemble",
+    "Program",
+    "Label",
+    "Insn",
+    "Directive",
+    "Reg",
+    "Imm",
+    "Sym",
+    "Mem",
+    "AsmSyntaxError",
+    "AsmError",
+    "disassemble_word",
+    "disassemble_program",
+]

@@ -1,0 +1,315 @@
+"""Two-pass layout and encoding of parsed assembly.
+
+Pass 1 lays out sections and binds labels; pass 2 resolves symbols and
+encodes instruction words.  The statement list is preserved in the output
+:class:`~repro.asm.program.Program` so the Argus embedder can insert
+``sig`` statements and re-assemble.
+"""
+
+from repro.asm.ir import Reg, Imm, Sym, Mem, Label, Insn, Directive
+from repro.asm.program import Program, default_data_base
+from repro.isa import encoding
+from repro.isa.opcodes import Op, NAME_TO_COND
+
+
+class AsmError(ValueError):
+    """Raised for semantic assembly errors (bad operands, unknown labels)."""
+
+
+DEFAULT_TEXT_BASE = 0x1000
+
+# Simple (non-compare) mnemonics that map 1:1 to an Op.
+_SIMPLE_OPS = {
+    op.name.lower(): op
+    for op in Op
+    if op not in (Op.SF, Op.SFI)
+}
+
+
+def _mnemonic_op(mnemonic):
+    """Resolve a mnemonic to (Op, cond-or-None)."""
+    if mnemonic in _SIMPLE_OPS:
+        return _SIMPLE_OPS[mnemonic], None
+    if mnemonic.startswith("sf"):
+        body = mnemonic[2:]
+        if body.endswith("i") and body[:-1] in NAME_TO_COND:
+            return Op.SFI, NAME_TO_COND[body[:-1]]
+        if body in NAME_TO_COND:
+            return Op.SF, NAME_TO_COND[body]
+    raise AsmError("unknown mnemonic %r" % mnemonic)
+
+
+def _align_up(value, alignment):
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def _data_directive_layout(directive, addr):
+    """Return (aligned_addr, size_in_bytes) for a data directive."""
+    name, args = directive.name, directive.args
+    if name == "word":
+        return _align_up(addr, 4), 4 * len(args)
+    if name == "half":
+        return _align_up(addr, 2), 2 * len(args)
+    if name == "byte":
+        return addr, len(args)
+    if name == "codeptr":
+        return _align_up(addr, 4), 4 * len(args)
+    if name == "space":
+        if len(args) != 1 or not isinstance(args[0], Imm):
+            raise AsmError("line %d: .space expects one size" % directive.line)
+        return addr, args[0].value
+    if name == "align":
+        if len(args) != 1 or not isinstance(args[0], Imm):
+            raise AsmError("line %d: .align expects one alignment" % directive.line)
+        return _align_up(addr, args[0].value), 0
+    if name in ("ascii", "asciz"):
+        return addr, len(args[0])
+    raise AsmError("line %d: unknown data directive .%s" % (directive.line, name))
+
+
+class _Resolver:
+    """Symbol resolution helper shared by pass 2 encoders."""
+
+    def __init__(self, labels, constants=None):
+        self.labels = labels
+        self.constants = constants or {}
+
+    def value(self, operand, line):
+        if isinstance(operand, Imm):
+            return operand.value
+        if isinstance(operand, Sym):
+            if operand.name in self.constants:
+                value = self.constants[operand.name]
+                if operand.modifier == "hi":
+                    return (value >> 16) & 0xFFFF
+                if operand.modifier == "lo":
+                    return value & 0xFFFF
+                return value
+            if operand.name not in self.labels:
+                raise AsmError("line %d: undefined label %r" % (line, operand.name))
+            addr = self.labels[operand.name]
+            if operand.modifier == "hi":
+                return (addr >> 16) & 0xFFFF
+            if operand.modifier == "lo":
+                return addr & 0xFFFF
+            return addr
+        raise AsmError("line %d: expected immediate or label, got %r" % (line, operand))
+
+
+def _operand_error(insn):
+    return AsmError("line %d: bad operands for %s: %s" % (insn.line, insn.mnemonic, insn))
+
+
+def _encode_insn(insn, addr, resolver):
+    op, cond = _mnemonic_op(insn.mnemonic)
+    ops = insn.operands
+
+    def req(*types):
+        if len(ops) != len(types) or not all(isinstance(o, t) for o, t in zip(ops, types)):
+            raise _operand_error(insn)
+
+    if op is Op.SIG:
+        # Optional immediate 1 sets the block-terminator (T) bit.
+        word = encoding.encode(op)
+        if len(ops) == 1 and isinstance(ops[0], Imm) and ops[0].value in (0, 1):
+            if ops[0].value:
+                word |= 1 << 25
+        elif ops:
+            raise _operand_error(insn)
+        return word
+    if op in (Op.NOP, Op.HALT):
+        if ops:
+            raise _operand_error(insn)
+        return encoding.encode(op)
+    if op in (Op.J, Op.JAL, Op.BF, Op.BNF):
+        if len(ops) != 1 or not isinstance(ops[0], (Sym, Imm)):
+            raise _operand_error(insn)
+        if isinstance(ops[0], Sym):
+            target = resolver.value(ops[0], insn.line)
+            delta = target - addr
+            if delta & 3:
+                raise AsmError("line %d: misaligned branch target" % insn.line)
+            offset = delta >> 2
+        else:
+            offset = ops[0].value
+        return encoding.encode(op, offset=offset)
+    if op in (Op.JR, Op.JALR):
+        req(Reg)
+        return encoding.encode(op, rb=ops[0].index)
+    if op is Op.MOVHI:
+        if len(ops) != 2 or not isinstance(ops[0], Reg):
+            raise _operand_error(insn)
+        return encoding.encode(op, rd=ops[0].index, imm=resolver.value(ops[1], insn.line))
+    if op in (Op.LWZ, Op.LHZ, Op.LHS, Op.LBZ, Op.LBS):
+        req(Reg, Mem)
+        mem = ops[1]
+        return encoding.encode(
+            op, rd=ops[0].index, ra=mem.base.index, imm=resolver.value(mem.offset, insn.line)
+        )
+    if op in (Op.SW, Op.SH, Op.SB):
+        req(Reg, Mem)
+        mem = ops[1]
+        return encoding.encode(
+            op, rb=ops[0].index, ra=mem.base.index, imm=resolver.value(mem.offset, insn.line)
+        )
+    if op in (Op.ADDI, Op.ANDI, Op.ORI, Op.XORI):
+        if len(ops) != 3 or not isinstance(ops[0], Reg) or not isinstance(ops[1], Reg):
+            raise _operand_error(insn)
+        return encoding.encode(
+            op, rd=ops[0].index, ra=ops[1].index, imm=resolver.value(ops[2], insn.line)
+        )
+    if op in (Op.SLLI, Op.SRLI, Op.SRAI):
+        req(Reg, Reg, Imm)
+        return encoding.encode(op, rd=ops[0].index, ra=ops[1].index, shamt=ops[2].value)
+    if op is Op.SFI:
+        if len(ops) != 2 or not isinstance(ops[0], Reg):
+            raise _operand_error(insn)
+        return encoding.encode(op, ra=ops[0].index, imm=resolver.value(ops[1], insn.line), cond=cond)
+    if op is Op.SF:
+        req(Reg, Reg)
+        return encoding.encode(op, ra=ops[0].index, rb=ops[1].index, cond=cond)
+    if op in encoding._PRIMARY and encoding.op_format(op) == "alu":
+        if op in (Op.EXTHS, Op.EXTBS, Op.EXTHZ, Op.EXTBZ):
+            req(Reg, Reg)
+            return encoding.encode(op, rd=ops[0].index, ra=ops[1].index)
+        req(Reg, Reg, Reg)
+        return encoding.encode(op, rd=ops[0].index, ra=ops[1].index, rb=ops[2].index)
+    raise AsmError("line %d: cannot encode %s" % (insn.line, insn))  # pragma: no cover
+
+
+def assemble(stmts, text_base=DEFAULT_TEXT_BASE, data_base=None):
+    """Assemble a statement list into a :class:`Program`.
+
+    Layout is deterministic: text words are contiguous from ``text_base``;
+    the data segment starts at ``data_base`` (default: first 256-aligned
+    address after text).  The entry point is the ``start`` label when
+    present, otherwise ``text_base``.
+    """
+    if text_base & 3:
+        raise AsmError("text base must be word aligned")
+
+    # ---- pass 1: layout -------------------------------------------------
+    labels = {}
+    insn_addrs = {}
+    section = "text"
+    text_addr = text_base
+    data_layout = []  # (stmt_index, aligned_offset) relative to 0
+    data_off = 0
+    pending_data_labels = []
+
+    def bind(name, sec, addr, line):
+        if name in labels:
+            raise AsmError("line %d: duplicate label %r" % (line, name))
+        labels[name] = (sec, addr)
+
+    constants = {}
+    for index, stmt in enumerate(stmts):
+        if isinstance(stmt, Directive) and stmt.name in ("text", "data"):
+            section = stmt.name
+            continue
+        if isinstance(stmt, Directive) and stmt.name == "global":
+            continue
+        if isinstance(stmt, Directive) and stmt.name in ("equ", "set"):
+            if (len(stmt.args) != 2 or not isinstance(stmt.args[0], Sym)
+                    or not isinstance(stmt.args[1], Imm)):
+                raise AsmError("line %d: .%s expects NAME, value"
+                               % (stmt.line, stmt.name))
+            constants[stmt.args[0].name] = stmt.args[1].value
+            continue
+        if isinstance(stmt, Label):
+            if section == "text":
+                bind(stmt.name, "text", text_addr, stmt.line)
+            else:
+                # Bind once the next item's alignment is known.
+                pending_data_labels.append(stmt)
+            continue
+        if section == "text":
+            if not isinstance(stmt, Insn):
+                raise AsmError("line %d: directive .%s not allowed in .text" % (stmt.line, stmt.name))
+            insn_addrs[index] = text_addr
+            text_addr += 4
+        else:
+            if not isinstance(stmt, Directive):
+                raise AsmError("line %d: instructions not allowed in .data" % stmt.line)
+            aligned, size = _data_directive_layout(stmt, data_off)
+            for pending in pending_data_labels:
+                bind(pending.name, "data", aligned, pending.line)
+            pending_data_labels = []
+            data_layout.append((index, aligned))
+            data_off = aligned + size
+    for pending in pending_data_labels:
+        bind(pending.name, "data", data_off, pending.line)
+
+    text_bytes = text_addr - text_base
+    if data_base is None:
+        data_base = default_data_base(text_base, text_bytes)
+    elif data_base < text_base + text_bytes:
+        raise AsmError("data base 0x%x overlaps text" % data_base)
+
+    # Text labels were bound to absolute addresses in pass 1; data labels to
+    # segment-relative offsets (the data base is only known afterwards).
+    resolved_labels = {
+        name: (addr if sec == "text" else addr + data_base)
+        for name, (sec, addr) in labels.items()
+    }
+    overlap = set(constants) & set(resolved_labels)
+    if overlap:
+        raise AsmError("names defined as both label and constant: %s"
+                       % ", ".join(sorted(overlap)))
+    resolver = _Resolver(resolved_labels, constants)
+
+    # ---- pass 2: encode --------------------------------------------------
+    words = []
+    lines = []
+    for index, stmt in enumerate(stmts):
+        if index in insn_addrs:
+            words.append(_encode_insn(stmt, insn_addrs[index], resolver))
+            lines.append(stmt.line)
+
+    data = bytearray(data_off)
+    codeptr_sites = []
+    data_index = {idx: off for idx, off in data_layout}
+    for index, stmt in enumerate(stmts):
+        if index not in data_index:
+            continue
+        off = data_index[index]
+        name, args = stmt.name, stmt.args
+        if name == "word":
+            for arg in args:
+                value = resolver.value(arg, stmt.line) & 0xFFFFFFFF
+                data[off:off + 4] = value.to_bytes(4, "little")
+                off += 4
+        elif name == "codeptr":
+            for arg in args:
+                if not isinstance(arg, Sym) or arg.modifier:
+                    raise AsmError("line %d: .codeptr expects plain labels" % stmt.line)
+                value = resolver.value(arg, stmt.line) & 0xFFFFFFFF
+                data[off:off + 4] = value.to_bytes(4, "little")
+                codeptr_sites.append((data_base + off, arg.name))
+                off += 4
+        elif name == "half":
+            for arg in args:
+                value = resolver.value(arg, stmt.line) & 0xFFFF
+                data[off:off + 2] = value.to_bytes(2, "little")
+                off += 2
+        elif name == "byte":
+            for arg in args:
+                data[off] = resolver.value(arg, stmt.line) & 0xFF
+                off += 1
+        elif name in ("ascii", "asciz"):
+            blob = args[0]
+            data[off:off + len(blob)] = blob
+
+    entry = resolved_labels.get("start", resolved_labels.get("_start", text_base))
+    return Program(
+        text_base=text_base,
+        words=words,
+        data_base=data_base,
+        data=data,
+        labels=resolved_labels,
+        entry=entry,
+        stmts=stmts,
+        insn_addrs=insn_addrs,
+        codeptr_sites=codeptr_sites,
+        lines=lines,
+    )

@@ -1,0 +1,56 @@
+"""Disassembler for encoded ``orr`` instructions (debugging/inspection)."""
+
+from repro.isa.decode import decode, DecodeError
+from repro.isa.opcodes import Op
+
+
+def disassemble_word(word, address=0):
+    """Render one instruction word as assembly text.
+
+    ``address`` lets jump-format instructions show absolute targets.
+    Undecodable words are rendered as ``.word 0x...``.
+    """
+    try:
+        instr = decode(word)
+    except DecodeError:
+        return ".word 0x%08x" % word
+    op = instr.op
+    name = instr.mnemonic
+    if op in (Op.NOP, Op.SIG, Op.HALT):
+        return name
+    if op in (Op.J, Op.JAL, Op.BF, Op.BNF):
+        return "%s 0x%x" % (name, (address + 4 * instr.offset) & 0xFFFFFFFF)
+    if op in (Op.JR, Op.JALR):
+        return "%s r%d" % (name, instr.rb)
+    if op is Op.MOVHI:
+        return "movhi r%d, 0x%x" % (instr.rd, instr.imm)
+    if instr.is_load:
+        return "%s r%d, %d(r%d)" % (name, instr.rd, instr.imm, instr.ra)
+    if instr.is_store:
+        return "%s r%d, %d(r%d)" % (name, instr.rb, instr.imm, instr.ra)
+    if op in (Op.ADDI, Op.ANDI, Op.ORI, Op.XORI):
+        return "%s r%d, r%d, %d" % (name, instr.rd, instr.ra, instr.imm)
+    if op in (Op.SLLI, Op.SRLI, Op.SRAI):
+        return "%s r%d, r%d, %d" % (name, instr.rd, instr.ra, instr.shamt)
+    if op is Op.SFI:
+        return "%s r%d, %d" % (name, instr.ra, instr.imm)
+    if op is Op.SF:
+        return "%s r%d, r%d" % (name, instr.ra, instr.rb)
+    if op in (Op.EXTHS, Op.EXTBS, Op.EXTHZ, Op.EXTBZ):
+        return "%s r%d, r%d" % (name, instr.rd, instr.ra)
+    return "%s r%d, r%d, r%d" % (name, instr.rd, instr.ra, instr.rb)
+
+
+def disassemble_program(program):
+    """Yield ``(address, word, text)`` for every instruction in a Program."""
+    addr_to_label = {}
+    for name, addr in program.labels.items():
+        addr_to_label.setdefault(addr, []).append(name)
+    out = []
+    addr = program.text_base
+    for word in program.words:
+        for name in addr_to_label.get(addr, ()):
+            out.append((addr, None, name + ":"))
+        out.append((addr, word, "    " + disassemble_word(word, addr)))
+        addr += 4
+    return out

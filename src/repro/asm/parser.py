@@ -1,0 +1,175 @@
+"""Parser for ``orr`` assembly source.
+
+Grammar (one statement per line)::
+
+    line      := [label ':'] [insn | directive] [comment]
+    comment   := ('#' | ';') .*
+    insn      := mnemonic [operand (',' operand)*]
+    operand   := reg | imm | sym | '%hi(' sym-or-imm ')' | '%lo(' ... ')'
+               | offset '(' reg ')'
+    directive := '.' name [arg (',' arg)*]
+
+Pseudo-instructions (``li``, ``la``, ``mov``, ``b``, ``call``, ``ret``)
+are expanded here into real instructions so the toolchain's CFG pass sees
+only architectural operations.
+"""
+
+import re
+
+from repro.asm.ir import Reg, Imm, Sym, Mem, Label, Insn, Directive
+from repro.isa import registers
+
+
+class AsmSyntaxError(ValueError):
+    """Raised on malformed assembly input, with line information."""
+
+    def __init__(self, message, line_no, line_text=""):
+        super().__init__("line %d: %s%s" % (line_no, message, (": " + line_text.strip()) if line_text else ""))
+        self.line_no = line_no
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*)\s*:\s*(.*)$")
+_NAME_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+_INT_RE = re.compile(r"^[+-]?(0[xX][0-9a-fA-F]+|\d+)$")
+_MEM_RE = re.compile(r"^(.*)\(\s*([A-Za-z]\w*)\s*\)$")
+_MOD_RE = re.compile(r"^%(hi|lo)\(\s*([^)]+?)\s*\)$")
+
+
+def _parse_int(text):
+    return int(text, 0)
+
+
+def _parse_operand(text, line_no, line_text):
+    text = text.strip()
+    if not text:
+        raise AsmSyntaxError("empty operand", line_no, line_text)
+    mod = _MOD_RE.match(text)
+    if mod:
+        inner = mod.group(2)
+        if _INT_RE.match(inner):
+            value = _parse_int(inner)
+            if mod.group(1) == "hi":
+                return Imm((value >> 16) & 0xFFFF)
+            return Imm(value & 0xFFFF)
+        return Sym(inner, modifier=mod.group(1))
+    mem = _MEM_RE.match(text)
+    if mem and mem.group(2).lower() in registers.NAME_TO_REG:
+        off_text = mem.group(1).strip() or "0"
+        if _INT_RE.match(off_text):
+            offset = Imm(_parse_int(off_text))
+        elif _NAME_RE.match(off_text):
+            offset = Sym(off_text)
+        else:
+            raise AsmSyntaxError("bad memory offset %r" % off_text, line_no, line_text)
+        return Mem(offset, Reg(registers.NAME_TO_REG[mem.group(2).lower()]))
+    lower = text.lower()
+    if lower in registers.NAME_TO_REG:
+        return Reg(registers.NAME_TO_REG[lower])
+    if _INT_RE.match(text):
+        return Imm(_parse_int(text))
+    if _NAME_RE.match(text):
+        return Sym(text)
+    raise AsmSyntaxError("cannot parse operand %r" % text, line_no, line_text)
+
+
+def _split_operands(text):
+    """Split an operand list on top-level commas (parens may contain none)."""
+    parts = []
+    depth = 0
+    cur = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    if cur:
+        parts.append("".join(cur))
+    return [p for p in (part.strip() for part in parts) if p]
+
+
+def _expand_pseudo(mnemonic, operands, line_no, line_text):
+    """Expand a pseudo-instruction; returns a list of Insn or None."""
+    if mnemonic == "li":
+        if len(operands) != 2 or not isinstance(operands[0], Reg) or not isinstance(operands[1], Imm):
+            raise AsmSyntaxError("li expects reg, imm", line_no, line_text)
+        rd, imm = operands
+        value = imm.value & 0xFFFFFFFF
+        signed = imm.value if imm.value < 0x80000000 else imm.value - (1 << 32)
+        if -0x8000 <= signed <= 0x7FFF:
+            return [Insn("addi", (rd, Reg(0), Imm(signed)), line_no)]
+        out = [Insn("movhi", (rd, Imm(value >> 16)), line_no)]
+        if value & 0xFFFF:
+            out.append(Insn("ori", (rd, rd, Imm(value & 0xFFFF)), line_no))
+        return out
+    if mnemonic == "la":
+        if len(operands) != 2 or not isinstance(operands[0], Reg) or not isinstance(operands[1], Sym):
+            raise AsmSyntaxError("la expects reg, label", line_no, line_text)
+        rd, sym = operands
+        return [
+            Insn("movhi", (rd, Sym(sym.name, "hi")), line_no),
+            Insn("ori", (rd, rd, Sym(sym.name, "lo")), line_no),
+        ]
+    if mnemonic == "mov":
+        if len(operands) != 2 or not all(isinstance(o, Reg) for o in operands):
+            raise AsmSyntaxError("mov expects reg, reg", line_no, line_text)
+        return [Insn("add", (operands[0], operands[1], Reg(0)), line_no)]
+    if mnemonic == "b":
+        if len(operands) != 1:
+            raise AsmSyntaxError("b expects one target", line_no, line_text)
+        return [Insn("j", tuple(operands), line_no)]
+    if mnemonic == "call":
+        if len(operands) != 1:
+            raise AsmSyntaxError("call expects one target", line_no, line_text)
+        return [Insn("jal", tuple(operands), line_no)]
+    if mnemonic == "ret":
+        if operands:
+            raise AsmSyntaxError("ret takes no operands", line_no, line_text)
+        return [Insn("jr", (Reg(registers.LINK_REG),), line_no)]
+    return None
+
+
+def parse(source):
+    """Parse assembly source text into a statement list."""
+    stmts = []
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        if not line:
+            continue
+        m = _LABEL_RE.match(line)
+        while m and not m.group(1).startswith("."):
+            stmts.append(Label(m.group(1), line_no))
+            line = m.group(2).strip()
+            if not line:
+                break
+            m = _LABEL_RE.match(line)
+        if not line:
+            continue
+        if line.startswith("."):
+            head, _, rest = line.partition(" ")
+            name = head[1:].lower()
+            if name == "ascii" or name == "asciz":
+                text = rest.strip()
+                if not (text.startswith('"') and text.endswith('"') and len(text) >= 2):
+                    raise AsmSyntaxError(".%s expects a quoted string" % name, line_no, raw)
+                data = text[1:-1].encode("utf-8").decode("unicode_escape").encode("latin-1")
+                if name == "asciz":
+                    data += b"\0"
+                stmts.append(Directive(name, (data,), line_no))
+                continue
+            args = tuple(_parse_operand(a, line_no, raw) for a in _split_operands(rest))
+            stmts.append(Directive(name, args, line_no))
+            continue
+        head, _, rest = line.partition(" ")
+        mnemonic = head.lower()
+        operands = tuple(_parse_operand(a, line_no, raw) for a in _split_operands(rest))
+        expanded = _expand_pseudo(mnemonic, operands, line_no, raw)
+        if expanded is not None:
+            stmts.extend(expanded)
+        else:
+            stmts.append(Insn(mnemonic, operands, line_no))
+    return stmts

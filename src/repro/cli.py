@@ -1,0 +1,273 @@
+"""Command-line interface: ``argus-repro <command>``.
+
+Commands:
+
+* ``asm SOURCE -o OBJ [--embed]`` - assemble (and optionally run the
+  Argus signature embedder over) an assembly file, writing an object
+  file (:mod:`repro.io.objfile`).
+* ``dis OBJ_OR_SOURCE`` - disassemble.
+* ``blocks SOURCE`` - show the basic-block/DCS map of the embedded form.
+* ``run OBJ_OR_SOURCE [--checked] [--ways N]`` - execute; embedded
+  objects (or ``--checked`` on source) run on the fully-checked core.
+* ``trace SOURCE [--limit N]`` - disassembled execution trace plus the
+  hot-block profile.
+* ``inject SOURCE --signal NAME --bit N [--at K]`` - run with one
+  injected fault and report which checker (if any) detected it.
+* ``report [--experiments N]`` - the full paper-vs-measured report.
+
+Source files are embedded automatically where Argus metadata is needed.
+"""
+
+import argparse
+import sys
+
+from repro.argus.errors import ArgusError
+from repro.asm import assemble, disassemble_program, parse
+from repro.cpu import CheckedCore, FastCore
+from repro.cpu.tracer import format_profile, trace_execution
+from repro.faults.injector import SignalInjector
+from repro.faults.model import FaultSpec
+from repro.io import load_embedded, load_program, save_embedded, save_program
+from repro.toolchain import embed_program
+
+
+def _read_source(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def _load_any(path):
+    """(program, embedded-or-None) from an object file or assembly source."""
+    if str(path).endswith(".aro"):
+        import json
+
+        with open(path) as handle:
+            kind = json.load(handle).get("kind")
+        if kind == "embedded":
+            # Verification failures must surface, never silently degrade
+            # a protected binary to an unchecked one.
+            embedded = load_embedded(path)
+            return embedded.program, embedded
+        return load_program(path), None
+    source = _read_source(path)
+    return assemble(parse(source)), None
+
+
+def cmd_asm(args):
+    source = _read_source(args.source)
+    if args.embed:
+        embedded = embed_program(source)
+        save_embedded(embedded, args.output)
+        print("embedded object: %d words (%d Signature insns, static "
+              "overhead %.1f%%), entry DCS 0x%02x -> %s" % (
+                  len(embedded.program.words), embedded.sigs_added,
+                  100 * embedded.static_overhead, embedded.entry_dcs,
+                  args.output))
+    else:
+        program = assemble(parse(source))
+        save_program(program, args.output)
+        print("object: %d words, %d data bytes -> %s" % (
+            len(program.words), len(program.data), args.output))
+    return 0
+
+
+def cmd_dis(args):
+    program, __ = _load_any(args.input)
+    for address, word, text in disassemble_program(program):
+        if word is None:
+            print(text)
+        else:
+            print("  0x%06x  %08x  %s" % (address, word, text.strip()))
+    return 0
+
+
+def cmd_blocks(args):
+    embedded = embed_program(_read_source(args.source))
+    print("entry DCS: 0x%02x; %d blocks" % (embedded.entry_dcs,
+                                            len(embedded.blocks)))
+    for block in embedded.blocks.values():
+        fields = ", ".join("%s=0x%02x" % kv for kv in block.fields.items())
+        print("  0x%06x..0x%06x  %-14s DCS=0x%02x  {%s}" % (
+            block.start, block.end - 4, block.kind, block.dcs, fields))
+    return 0
+
+
+def cmd_run(args):
+    if str(args.input).endswith(".aro"):
+        program, embedded = _load_any(args.input)
+    elif args.checked:
+        embedded = embed_program(_read_source(args.input))
+        program = embedded.program
+    else:
+        program, embedded = _load_any(args.input)
+
+    from repro.mem.hierarchy import MemoryConfig
+    config = MemoryConfig.paper(ways=args.ways)
+    if embedded is not None:
+        core = CheckedCore(embedded, mem_config=config, detect=True)
+        try:
+            result = core.run(max_instructions=args.max_instructions)
+        except ArgusError as exc:
+            print("DETECTED: %s" % exc.event)
+            return 2
+        print("halted after %d instructions, %d cycles (%d block checks)"
+              % (result.instructions, result.cycles, result.blocks_checked))
+        regs = core.rf.values
+    else:
+        core = FastCore(program, mem_config=config)
+        result = core.run(max_instructions=args.max_instructions)
+        print("halted after %d instructions, %d cycles (CPI %.2f)"
+              % (result.instructions, result.cycles, result.cpi))
+        regs = core.regs
+    for row in range(0, 32, 4):
+        print("  " + "  ".join("r%-2d=0x%08x" % (i, regs[i])
+                               for i in range(row, row + 4)))
+    return 0
+
+
+def cmd_trace(args):
+    embedded = embed_program(_read_source(args.source))
+    result = trace_execution(embedded, max_instructions=args.max_instructions,
+                             keep_entries=args.limit)
+    for entry in result.entries[:args.limit]:
+        print(entry.formatted())
+    if result.instructions > len(result.entries):
+        print("  ... (%d more instructions)"
+              % (result.instructions - len(result.entries)))
+    print("\nhot blocks:")
+    print(format_profile(result))
+    return 0
+
+
+def cmd_inject(args):
+    embedded = embed_program(_read_source(args.source))
+    spec = FaultSpec(target=args.signal, mask=1 << args.bit)
+    injector = SignalInjector(spec)
+    core = CheckedCore(embedded, injector=injector, detect=True)
+    step = 0
+    try:
+        while not core.halted and step < args.max_instructions:
+            if step == args.at:
+                injector.enable()
+            core.step()
+            step += 1
+    except ArgusError as exc:
+        print("DETECTED by %s after %d instructions: %s" % (
+            exc.event.checker, exc.event.instret - args.at, exc.event.detail))
+        return 0
+    print("no detection (fault masked or program finished); "
+          "final pc=0x%x after %d instructions" % (core.pc, step))
+    return 0
+
+
+def cmd_characterize(args):
+    from repro.eval.characterization import (
+        characterize_suite, format_characterization)
+    from repro.workloads import ALL_WORKLOADS, WORKLOADS
+    if args.workloads:
+        targets = [WORKLOADS[name] for name in args.workloads]
+    else:
+        targets = ALL_WORKLOADS
+    print(format_characterization(characterize_suite(targets)))
+    return 0
+
+
+def cmd_fuzz(args):
+    from repro.workloads.fuzz import generate_program
+    source = generate_program(args.seed, segments=args.segments)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(source + "\n")
+        print("wrote %s" % args.output)
+    else:
+        print(source)
+    if args.run:
+        embedded = embed_program(source)
+        core = CheckedCore(embedded, detect=True)
+        result = core.run(max_instructions=500_000)
+        print("# checked run: %d instructions, %d block checks, result 0x%08x"
+              % (result.instructions, result.blocks_checked,
+                 core.load_word(embedded.program.addr_of("result"))))
+    return 0
+
+
+def cmd_report(args):
+    from repro.eval.report import generate_report
+    generate_report(experiments=args.experiments,
+                    progress=max(args.experiments // 4, 1))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="argus-repro",
+        description="Argus (MICRO 2007) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("asm", help="assemble (+optionally embed) a source file")
+    p.add_argument("source")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--embed", action="store_true",
+                   help="run the Argus signature embedder")
+    p.set_defaults(func=cmd_asm)
+
+    p = sub.add_parser("dis", help="disassemble an object or source file")
+    p.add_argument("input")
+    p.set_defaults(func=cmd_dis)
+
+    p = sub.add_parser("blocks", help="show the basic-block/DCS map")
+    p.add_argument("source")
+    p.set_defaults(func=cmd_blocks)
+
+    p = sub.add_parser("run", help="execute an object or source file")
+    p.add_argument("input")
+    p.add_argument("--checked", action="store_true",
+                   help="embed and run with all Argus checkers armed")
+    p.add_argument("--ways", type=int, default=1, choices=(1, 2))
+    p.add_argument("--max-instructions", type=int, default=50_000_000)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("trace", help="disassembled trace + block profile")
+    p.add_argument("source")
+    p.add_argument("--limit", type=int, default=40,
+                   help="trace entries to print")
+    p.add_argument("--max-instructions", type=int, default=200_000)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("inject", help="run with one injected signal fault")
+    p.add_argument("source")
+    p.add_argument("--signal", required=True,
+                   help="signal name, e.g. ex.alu.result")
+    p.add_argument("--bit", type=int, default=0)
+    p.add_argument("--at", type=int, default=0,
+                   help="instruction index at which the fault activates")
+    p.add_argument("--max-instructions", type=int, default=1_000_000)
+    p.set_defaults(func=cmd_inject)
+
+    p = sub.add_parser("characterize", help="workload characterization table")
+    p.add_argument("workloads", nargs="*",
+                   help="workload names (default: the whole suite)")
+    p.set_defaults(func=cmd_characterize)
+
+    p = sub.add_parser("fuzz", help="generate (and optionally run) a random program")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--segments", type=int, default=6)
+    p.add_argument("-o", "--output")
+    p.add_argument("--run", action="store_true",
+                   help="also run it on the checked core")
+    p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser("report", help="full paper-vs-measured report")
+    p.add_argument("--experiments", type=int, default=800)
+    p.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""CPU cores: the OR1200-like 4-stage in-order scalar pipeline.
+
+Two duty cycles share one set of architectural semantics
+(:mod:`repro.cpu.alu`):
+
+* :class:`~repro.cpu.fastcore.FastCore` - functional + timing simulation
+  for the performance experiments (Figures 5-7).  No checkers, no fault
+  taps; instruction decode is cached per word.
+* :class:`~repro.cpu.checkedcore.CheckedCore` - the detailed core with
+  named micro-architectural signals, the full Argus-1 checker complement
+  and fault-injection taps, used by the error-injection campaign
+  (Table 1, Sec. 4.1-4.2).
+
+Both execute the same ISA and are cross-validated by integration tests.
+"""
+
+from repro.cpu.alu import alu_execute, evaluate_condition, ArithmeticError32
+from repro.cpu.fastcore import FastCore, RunResult, Timing, ExecutionLimitExceeded
+from repro.cpu.checkedcore import CheckedCore, CheckedRunResult
+from repro.cpu.dmr import LockstepCore, LockstepMismatch, LockstepResult
+from repro.cpu.tracer import TraceResult, trace_execution
+from repro.cpu.pipeline import PipelinedCore, PipelineResult
+
+__all__ = [
+    "alu_execute",
+    "evaluate_condition",
+    "ArithmeticError32",
+    "FastCore",
+    "RunResult",
+    "Timing",
+    "ExecutionLimitExceeded",
+    "CheckedCore",
+    "CheckedRunResult",
+    "LockstepCore",
+    "LockstepMismatch",
+    "LockstepResult",
+    "TraceResult",
+    "trace_execution",
+    "PipelinedCore",
+    "PipelineResult",
+]

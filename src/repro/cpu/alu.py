@@ -1,0 +1,30 @@
+"""Re-export of the architectural arithmetic semantics.
+
+The implementation lives in :mod:`repro.isa.semantics` (ISA level) so the
+Argus checkers can import it without pulling in the CPU package; this
+module keeps the natural ``repro.cpu.alu`` spelling for core code.
+"""
+
+from repro.isa.semantics import (  # noqa: F401
+    WORD_MASK,
+    ArithmeticError32,
+    alu_execute,
+    divide,
+    evaluate_condition,
+    mul64,
+    sign_extend_load,
+    to_signed,
+    to_unsigned,
+)
+
+__all__ = [
+    "WORD_MASK",
+    "ArithmeticError32",
+    "alu_execute",
+    "divide",
+    "evaluate_condition",
+    "mul64",
+    "sign_extend_load",
+    "to_signed",
+    "to_unsigned",
+]

@@ -1,0 +1,124 @@
+"""Execution tracing and basic-block profiling.
+
+Developer-facing instrumentation on top of the checked core: a
+step-by-step disassembled trace (``argus-repro trace``), and per-block
+execution profiles that show where a workload spends its instructions -
+useful both for debugging workloads and for seeing the paper's
+"hot inner loops embed their DCSs for free" effect directly.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.asm.disassembler import disassemble_word
+from repro.cpu.checkedcore import CheckedCore
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One retired instruction."""
+
+    index: int
+    pc: int
+    word: int
+    text: str
+    rd: int  # -1 when the instruction wrote no register
+    rd_value: int
+    flag: int
+    store_addr: int  # -1 when not a store
+    store_value: int
+
+    def formatted(self):
+        parts = ["%6d  0x%06x  %-28s" % (self.index, self.pc, self.text)]
+        if self.rd >= 0:
+            parts.append("r%-2d <- 0x%08x" % (self.rd, self.rd_value))
+        if self.store_addr >= 0:
+            parts.append("[0x%06x] <- 0x%08x" % (self.store_addr, self.store_value))
+        return " ".join(parts)
+
+
+@dataclass
+class BlockProfile:
+    """Execution counts per hardware basic block."""
+
+    start: int
+    kind: str
+    num_insns: int
+    executions: int = 0
+
+    @property
+    def instructions(self):
+        return self.executions * self.num_insns
+
+
+@dataclass
+class TraceResult:
+    """Outcome of a traced run."""
+
+    entries: list
+    instructions: int
+    cycles: int
+    halted: bool
+    block_profiles: dict = field(default_factory=dict)
+
+    def hot_blocks(self, count=5):
+        """The ``count`` most-executed blocks, hottest first."""
+        ranked = sorted(self.block_profiles.values(),
+                        key=lambda p: -p.instructions)
+        return ranked[:count]
+
+
+def trace_execution(embedded, max_instructions=100_000, keep_entries=2000,
+                    detect=True):
+    """Run an embedded binary on the checked core, collecting a trace.
+
+    Only the first ``keep_entries`` retired instructions are kept
+    verbatim (traces of long runs would be enormous); block execution
+    counts cover the whole run.  Raises
+    :class:`~repro.argus.errors.ArgusError` if a checker fires.
+    """
+    core = CheckedCore(embedded, detect=detect)
+    profiles = {
+        block.start: BlockProfile(block.start, block.kind, block.num_insns)
+        for block in embedded.blocks.values()
+    }
+    entries = []
+    index = 0
+    while not core.halted and index < max_instructions:
+        record = core.step()
+        if record is None:
+            break
+        pc, rd, rd_value, flag, store_addr, store_value = record
+        profile = profiles.get(pc)
+        if profile is not None:
+            profile.executions += 1
+        if index < keep_entries:
+            try:
+                word = embedded.program.word_at(pc)
+            except IndexError:
+                word = 0
+            entries.append(TraceEntry(
+                index=index, pc=pc, word=word,
+                text=disassemble_word(word, pc),
+                rd=rd, rd_value=rd_value, flag=flag,
+                store_addr=store_addr, store_value=store_value,
+            ))
+        index += 1
+    return TraceResult(
+        entries=entries,
+        instructions=core.instret,
+        cycles=core.cycles,
+        halted=core.halted,
+        block_profiles=profiles,
+    )
+
+
+def format_profile(result, count=10):
+    """Human-readable hot-block table."""
+    lines = ["%10s %-14s %8s %12s %14s" % (
+        "block", "kind", "insns", "executions", "instructions")]
+    total = max(result.instructions, 1)
+    for profile in result.hot_blocks(count):
+        lines.append("0x%08x %-14s %8d %12d %13.1f%%" % (
+            profile.start, profile.kind, profile.num_insns,
+            profile.executions, 100.0 * profile.instructions / total))
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Evaluation harness: regenerate every table and figure of the paper.
+
+Each module produces one artifact of Sec. 4 and pairs it with the
+paper's published numbers (:mod:`repro.eval.paper`):
+
+* :mod:`repro.eval.table1` - error-injection quadrants (Table 1);
+* :mod:`repro.eval.detectors` - per-checker detection attribution and
+  unmasked coverage (Sec. 4.1.1);
+* :mod:`repro.eval.false_positives` - the no-fault/no-alarm experiment
+  (Sec. 4.1.2);
+* :mod:`repro.eval.latency` - detection-latency distributions (Sec. 4.2);
+* :mod:`repro.eval.table2` - area table (Table 2, Sec. 4.3);
+* :mod:`repro.eval.figures` - dynamic-instruction and runtime overheads
+  per benchmark (Figures 5, 6, 7; Sec. 4.4).
+
+``python -m repro.eval.report`` runs everything and prints the full
+paper-vs-measured report (the content of EXPERIMENTS.md).
+"""
+
+from repro.eval import paper
+
+__all__ = ["paper"]

@@ -1,0 +1,91 @@
+"""Workload characterization: the "Table: benchmark properties" every
+architecture evaluation carries.
+
+For each workload: dynamic instruction count, instruction-mix fractions
+(ALU / mul-div / memory / control), CPI under the paper's memory
+configuration, code footprint, and the Argus embedding statistics
+(blocks, Signature instructions, static overhead).  Used by the docs and
+by sanity tests that pin each kernel's intended character (e.g. gsm is
+multiply-heavy, mpeg2 is memory-heavy, pegwit is ALU-heavy).
+"""
+
+from dataclasses import dataclass
+
+from repro.cpu.fastcore import FastCore
+from repro.isa import opcodes as oc
+from repro.workloads import ALL_WORKLOADS
+
+
+@dataclass(frozen=True)
+class Characterization:
+    """Measured properties of one workload."""
+
+    name: str
+    instructions: int
+    cpi: float
+    alu_fraction: float
+    muldiv_fraction: float
+    memory_fraction: float
+    control_fraction: float
+    text_bytes: int
+    data_bytes: int
+    blocks: int
+    sigs_added: int
+    static_overhead: float
+
+
+def characterize(workload):
+    """Run the base binary and the embedder; returns a Characterization."""
+    program = workload.build_base()
+    core = FastCore(program, collect_histogram=True)
+    result = core.run()
+    histogram = result.op_histogram
+    total = result.instructions
+
+    def fraction(ops):
+        return sum(histogram.get(op, 0) for op in ops) / total
+
+    alu_ops = ((set(oc.ALU_FUNC) - oc.MULDIV_OPS)
+               | {oc.Op.ADDI, oc.Op.ANDI, oc.Op.ORI, oc.Op.XORI,
+                  oc.Op.MOVHI, oc.Op.SLLI, oc.Op.SRLI, oc.Op.SRAI})
+    embedded = workload.build_embedded()
+    return Characterization(
+        name=workload.name,
+        instructions=total,
+        cpi=result.cpi,
+        alu_fraction=fraction(alu_ops),
+        muldiv_fraction=fraction(oc.MULDIV_OPS),
+        memory_fraction=fraction(oc.MEM_OPS),
+        control_fraction=fraction(oc.BRANCH_OPS | oc.COMPARE_OPS),
+        text_bytes=program.text_size,
+        data_bytes=len(program.data),
+        blocks=len(embedded.blocks),
+        sigs_added=embedded.sigs_added,
+        static_overhead=embedded.static_overhead,
+    )
+
+
+def characterize_suite(workloads=None):
+    """Characterize the whole suite."""
+    workloads = list(workloads if workloads is not None else ALL_WORKLOADS)
+    return [characterize(workload) for workload in workloads]
+
+
+def format_characterization(rows):
+    """The suite table, markdown-flavoured."""
+    lines = [
+        "| bench | dyn instrs | CPI | alu | mul/div | mem | ctl | text B |"
+        " blocks | sigs | static ovh |",
+        "|-------|-----------:|----:|----:|--------:|----:|----:|-------:|"
+        "-------:|-----:|-----------:|",
+    ]
+    for row in rows:
+        lines.append(
+            "| %s | %d | %.2f | %.0f%% | %.0f%% | %.0f%% | %.0f%% | %d |"
+            " %d | %d | %.1f%% |" % (
+                row.name, row.instructions, row.cpi,
+                100 * row.alu_fraction, 100 * row.muldiv_fraction,
+                100 * row.memory_fraction, 100 * row.control_fraction,
+                row.text_bytes, row.blocks, row.sigs_added,
+                100 * row.static_overhead))
+    return "\n".join(lines)

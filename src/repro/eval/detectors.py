@@ -1,0 +1,66 @@
+"""Sec. 4.1.1: detection attribution and unmasked coverage.
+
+The paper groups detections into four mechanisms: computation checkers
+(45%), parity on operands/registers/load values (36%), the DCS
+comparison (16%) and the watchdog (3%).  Our richer taxonomy also has a
+``memory`` class (the D XOR A + parity check of Sec. 3.4); the paper
+counts load-value parity inside its parity bucket, so the roll-up below
+folds ``memory`` into ``parity``.
+"""
+
+from repro.argus.errors import (
+    CHECKER_COMPUTATION,
+    CHECKER_CONTROL_FLOW,
+    CHECKER_MEMORY,
+    CHECKER_PARITY,
+    CHECKER_WATCHDOG,
+)
+from repro.eval import paper
+
+#: Mapping from our checker taxonomy to the paper's four-way grouping.
+PAPER_GROUPING = {
+    CHECKER_COMPUTATION: "computation",
+    CHECKER_PARITY: "parity",
+    CHECKER_MEMORY: "parity",  # load-value checks are parity in the paper
+    CHECKER_CONTROL_FLOW: "dcs",
+    CHECKER_WATCHDOG: "watchdog",
+}
+
+
+def attribution(summary):
+    """Per-paper-group fractions of all detections in a CampaignSummary."""
+    grouped = {}
+    for checker, count in summary.checker_counts.items():
+        group = PAPER_GROUPING.get(checker, checker)
+        grouped[group] = grouped.get(group, 0) + count
+    total = sum(grouped.values())
+    if not total:
+        return {}
+    return {group: count / total for group, count in grouped.items()}
+
+
+def coverage_report(summary):
+    """Measured-vs-paper coverage numbers for one campaign summary."""
+    return {
+        "unmasked_coverage": summary.unmasked_coverage,
+        "unmasked_coverage_paper": paper.UNMASKED_COVERAGE.get(summary.duration),
+        "masked_detection_rate": summary.masked_detection_rate,
+        "masked_detection_rate_paper": paper.MASKED_DETECTION_RATE,
+        "attribution": attribution(summary),
+        "attribution_paper": paper.DETECTION_ATTRIBUTION,
+    }
+
+
+def format_attribution(summary):
+    measured = attribution(summary)
+    lines = ["%-12s %10s %10s" % ("checker", "measured", "paper")]
+    for group in ("computation", "parity", "dcs", "watchdog"):
+        lines.append("%-12s %9.1f%% %9.1f%%" % (
+            group, 100 * measured.get(group, 0.0),
+            100 * paper.DETECTION_ATTRIBUTION[group]))
+    lines.append("unmasked coverage: %.1f%% (paper %.1f%%)" % (
+        100 * summary.unmasked_coverage,
+        100 * paper.UNMASKED_COVERAGE.get(summary.duration, 0.98)))
+    lines.append("masked detection rate (DME): %.1f%% (paper %.1f%%)" % (
+        100 * summary.masked_detection_rate, 100 * paper.MASKED_DETECTION_RATE))
+    return "\n".join(lines)

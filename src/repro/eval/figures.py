@@ -1,0 +1,68 @@
+"""Figures 5, 6 and 7: per-benchmark overhead series.
+
+* Figure 5: dynamic instruction count overhead (Signature NOPs executed);
+* Figure 6: runtime overhead with the direct-mapped 8 KB I-cache;
+* Figure 7: runtime overhead with the 2-way set-associative I-cache.
+
+The series are produced by running the base and Argus-embedded binaries
+of every workload on the fast core (:mod:`repro.workloads.runner`).
+"""
+
+from dataclasses import dataclass
+
+from repro.eval import paper
+from repro.workloads import ALL_WORKLOADS
+from repro.workloads.runner import measure_suite
+
+
+@dataclass
+class FigureSeries:
+    """One figure's bar series plus its paper average."""
+
+    figure: str
+    values: dict  # benchmark -> overhead fraction
+    paper_average: float
+
+    @property
+    def average(self):
+        if not self.values:
+            return 0.0
+        return sum(self.values.values()) / len(self.values)
+
+    def formatted(self):
+        lines = ["%s (paper average %.1f%%)" % (self.figure, 100 * self.paper_average)]
+        for name, value in self.values.items():
+            bar = "#" * max(int(40 * abs(value) / 0.12), 1)
+            sign = "-" if value < 0 else " "
+            lines.append("  %-10s %+6.2f%% %s%s" % (name, 100 * value, sign, bar))
+        lines.append("  %-10s %+6.2f%%" % ("average", 100 * self.average))
+        return "\n".join(lines)
+
+
+def run_figures(workloads=None):
+    """Measure the suite under both cache configs; returns the 3 series
+    plus the static-overhead series the Fig. 5 discussion references."""
+    workloads = list(workloads if workloads is not None else ALL_WORKLOADS)
+    one_way = measure_suite(workloads, ways=1)
+    two_way = measure_suite(workloads, ways=2)
+    fig5 = FigureSeries(
+        "Figure 5: dynamic instruction overhead",
+        {m.name: m.dynamic_overhead for m in one_way},
+        paper.FIG5_AVG_DYNAMIC_OVERHEAD,
+    )
+    static = FigureSeries(
+        "Static instruction overhead (Sec. 4.4)",
+        {m.name: m.static_overhead for m in one_way},
+        paper.STATIC_OVERHEAD_AVG,
+    )
+    fig6 = FigureSeries(
+        "Figure 6: runtime overhead, 1-way I-cache",
+        {m.name: m.runtime_overhead for m in one_way},
+        paper.FIG6_AVG_RUNTIME_OVERHEAD_1WAY,
+    )
+    fig7 = FigureSeries(
+        "Figure 7: runtime overhead, 2-way I-cache",
+        {m.name: m.runtime_overhead for m in two_way},
+        paper.FIG7_AVG_RUNTIME_OVERHEAD_2WAY,
+    )
+    return fig5, static, fig6, fig7

@@ -1,0 +1,75 @@
+"""Sec. 4.2: error-detection latency.
+
+The paper's qualitative claims, which the measured distributions must
+reproduce:
+
+* computation errors (ALU, mul/div) are detected in the cycle after the
+  erroneous computation;
+* dataflow errors are detected by the end of the current basic block;
+* control-flow errors by the end of the current or the next block;
+* memory (stored-parity) errors only when the bad word is next loaded -
+  unbounded in general, the EDC caveat the paper notes.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.eval.detectors import PAPER_GROUPING
+
+
+@dataclass
+class LatencyStats:
+    """Latency distribution of one checker group."""
+
+    group: str
+    samples: list = field(default_factory=list)  # (cycles, instructions, blocks)
+
+    def add(self, cycles, instructions, blocks):
+        self.samples.append((cycles, instructions, blocks))
+
+    @property
+    def count(self):
+        return len(self.samples)
+
+    def _column(self, index):
+        return sorted(sample[index] for sample in self.samples)
+
+    def median(self, axis="cycles"):
+        index = {"cycles": 0, "instructions": 1, "blocks": 2}[axis]
+        column = self._column(index)
+        if not column:
+            return None
+        return column[len(column) // 2]
+
+    def p90(self, axis="cycles"):
+        index = {"cycles": 0, "instructions": 1, "blocks": 2}[axis]
+        column = self._column(index)
+        if not column:
+            return None
+        return column[min(len(column) - 1, int(0.9 * len(column)))]
+
+
+def latency_by_group(results):
+    """Bucket ExperimentResults' detection latencies by checker group."""
+    stats = {}
+    for result in results:
+        if not result.detected or result.latency_cycles is None:
+            continue
+        group = PAPER_GROUPING.get(result.checker, result.checker)
+        stats.setdefault(group, LatencyStats(group)).add(
+            result.latency_cycles, result.latency_instructions,
+            result.latency_blocks,
+        )
+    return stats
+
+
+def format_latency(stats):
+    lines = ["%-12s %8s %14s %14s %12s" % (
+        "checker", "samples", "median cycles", "p90 cycles", "median blk")]
+    for group in ("computation", "parity", "dcs", "watchdog", "memory"):
+        if group not in stats:
+            continue
+        entry = stats[group]
+        lines.append("%-12s %8d %14d %14d %12d" % (
+            group, entry.count, entry.median("cycles"), entry.p90("cycles"),
+            entry.median("blocks")))
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""The paper's published numbers, for paper-vs-measured reporting.
+
+All values transcribed from Meixner, Bauer & Sorin, MICRO 2007.
+"""
+
+# ---- Table 1: error-injection quadrants (fractions of all injections) --
+TABLE1 = {
+    "transient": {
+        "unmasked_undetected": 0.0076,
+        "unmasked_detected": 0.374,
+        "masked_undetected": 0.382,
+        "masked_detected": 0.237,
+    },
+    "permanent": {
+        "unmasked_undetected": 0.0046,
+        "unmasked_detected": 0.376,
+        "masked_undetected": 0.382,
+        "masked_detected": 0.237,
+    },
+}
+
+#: Sec. 4.1.1: detection coverage of unmasked errors.
+UNMASKED_COVERAGE = {"transient": 0.980, "permanent": 0.988}
+
+#: Sec. 4.1.1: which checker detected errors (fractions of detections).
+DETECTION_ATTRIBUTION = {
+    "computation": 0.45,
+    "parity": 0.36,  # operands, registers and load values
+    "dcs": 0.16,
+    "watchdog": 0.03,
+}
+
+#: Sec. 4.1.2: fraction of *masked* errors that are still detected (DME).
+MASKED_DETECTION_RATE = 0.383
+
+# ---- Table 2: area in mm^2 (VTVT 0.25um; caches via Cacti 3.0) ---------
+TABLE2 = {
+    "core": (6.58, 7.67, 0.166),
+    "I-cache: 1-way": (2.14, 2.14, 0.0),
+    "I-cache: 2-way": (2.42, 2.42, 0.0),
+    "D-cache: 1-way": (2.14, 2.24, 0.049),
+    "D-cache: 2-way": (2.42, 2.54, 0.051),
+    "total: 1-way": (10.86, 12.05, 0.109),
+    "total: 2-way": (11.42, 12.63, 0.106),
+}
+
+# ---- Sec. 4.4 / Figures 5-7: averages over MediaBench ------------------
+FIG5_AVG_DYNAMIC_OVERHEAD = 0.035
+STATIC_OVERHEAD_AVG = 0.07
+FIG6_AVG_RUNTIME_OVERHEAD_1WAY = 0.039
+FIG7_AVG_RUNTIME_OVERHEAD_2WAY = 0.032
+
+#: Sec. 4.4: average instruction latency range used in the discussion.
+AVG_CPI_RANGE = (1.1, 1.7)
+
+#: Sec. 4.1: the experimental scale of the paper's campaign.
+PAPER_TOTAL_GATES = 40000
+PAPER_SAMPLED_GATES = 5000

@@ -1,0 +1,29 @@
+"""Table 2 regeneration: area overhead, measured vs paper."""
+
+from repro.area.report import area_table
+from repro.eval import paper
+
+
+def run_table2():
+    """Rows of (label, measured_base, measured_argus, measured_ovh,
+    paper_base, paper_argus, paper_ovh)."""
+    rows = []
+    for row in area_table():
+        ref = paper.TABLE2.get(row.label)
+        rows.append((
+            row.label, row.baseline_mm2, row.argus_mm2, row.overhead,
+            ref[0] if ref else None, ref[1] if ref else None,
+            ref[2] if ref else None,
+        ))
+    return rows
+
+
+def format_table2(rows=None):
+    rows = rows if rows is not None else run_table2()
+    lines = ["%-16s | %8s %8s %7s | %8s %8s %7s" % (
+        "", "base", "argus", "ovh", "paper", "paper", "ovh")]
+    for label, base, argus, ovh, pb, pa, po in rows:
+        paper_cells = ("%8.2f %8.2f %6.1f%%" % (pb, pa, 100 * po)) if pb else ""
+        lines.append("%-16s | %8.2f %8.2f %6.1f%% | %s" % (
+            label, base, argus, 100 * ovh, paper_cells))
+    return "\n".join(lines)

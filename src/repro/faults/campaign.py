@@ -1,0 +1,277 @@
+"""Error-injection campaign orchestration (paper Sec. 4.1, Table 1).
+
+Every experiment injects one fault (one :class:`FaultSpec`, transient or
+permanent) at a sampled dynamic instruction and classifies the outcome
+along the paper's two axes:
+
+* **masked?** - a *masking run* with checkers disabled compares every
+  retire record against a golden trace.  A transient fault is held
+  active until its first architectural impact and then removed (the
+  paper's activation methodology); a permanent fault stays active.  The
+  fault is masked iff the run completes with no divergence (a hang is a
+  liveness violation, i.e. unmasked).
+* **detected?** - a *detection run* with all checkers enabled; any
+  :class:`~repro.argus.errors.ArgusError` raised before the (bounded)
+  run ends is a detection, attributed to the checker that fired.
+
+The four quadrant counts reproduce Table 1; the per-checker attribution
+reproduces Sec. 4.1.1; detection latencies reproduce Sec. 4.2.
+"""
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.argus.errors import ArgusError
+from repro.cpu.checkedcore import CheckedCore
+from repro.faults.injector import SignalInjector
+from repro.faults.model import (FaultSchedule, INTERMITTENT, PERMANENT,
+                                TRANSIENT, StateFaultApplier)
+from repro.faults.points import build_point_population, sample_points
+from repro.faults.stress import build_stress_program
+
+
+@dataclass
+class ExperimentResult:
+    """Classified outcome of one fault-injection experiment."""
+
+    spec: object
+    duration: str  # transient | permanent
+    inject_at: int  # dynamic instruction index of injection
+    masked: bool
+    detected: bool
+    checker: Optional[str] = None  # which checker fired (detected only)
+    detail: str = ""
+    activated_at: Optional[int] = None  # first architectural divergence
+    latency_instructions: Optional[int] = None
+    latency_cycles: Optional[int] = None
+    latency_blocks: Optional[int] = None
+    hung: bool = False
+
+    @property
+    def silent(self):
+        """Unmasked and undetected: a silent data corruption."""
+        return not self.masked and not self.detected
+
+    @property
+    def quadrant(self):
+        if self.masked:
+            return "masked_detected" if self.detected else "masked_undetected"
+        return "unmasked_detected" if self.detected else "unmasked_undetected"
+
+
+@dataclass
+class CampaignSummary:
+    """Aggregated campaign results in the shape of Table 1."""
+
+    duration: str
+    total: int = 0
+    unmasked_undetected: int = 0  # silent data corruption
+    unmasked_detected: int = 0
+    masked_undetected: int = 0
+    masked_detected: int = 0  # DME
+    checker_counts: dict = field(default_factory=dict)
+    results: list = field(default_factory=list)
+
+    def add(self, result):
+        self.total += 1
+        setattr(self, result.quadrant, getattr(self, result.quadrant) + 1)
+        if result.detected:
+            self.checker_counts[result.checker] = (
+                self.checker_counts.get(result.checker, 0) + 1
+            )
+        self.results.append(result)
+
+    def fractions(self):
+        """Quadrant fractions (of all injections), as Table 1 reports."""
+        if not self.total:
+            return {}
+        return {
+            "unmasked_undetected": self.unmasked_undetected / self.total,
+            "unmasked_detected": self.unmasked_detected / self.total,
+            "masked_undetected": self.masked_undetected / self.total,
+            "masked_detected": self.masked_detected / self.total,
+        }
+
+    @property
+    def unmasked_coverage(self):
+        """Fraction of unmasked errors that were detected (paper: >98%)."""
+        unmasked = self.unmasked_detected + self.unmasked_undetected
+        if not unmasked:
+            return 1.0
+        return self.unmasked_detected / unmasked
+
+    @property
+    def masked_detection_rate(self):
+        masked = self.masked_detected + self.masked_undetected
+        if not masked:
+            return 0.0
+        return self.masked_detected / masked
+
+
+class Campaign:
+    """A fault-injection campaign over one embedded workload."""
+
+    def __init__(self, embedded=None, seed=0, run_slack=1.25,
+                 include_double_bits=True):
+        self.embedded = embedded if embedded is not None else build_stress_program()
+        self.rng = random.Random(seed)
+        self.points = build_point_population(include_double_bits=include_double_bits)
+        self.run_slack = run_slack
+        self._golden = None
+        self._golden_final = None
+
+    # -- golden reference --------------------------------------------------
+    def golden_trace(self):
+        """Retire records of the fault-free run (computed once)."""
+        if self._golden is None:
+            core = CheckedCore(self.embedded, detect=False)
+            trace = []
+            while not core.halted:
+                trace.append(core.step())
+            self._golden = trace
+            self._golden_final = core.architectural_state()
+        return self._golden
+
+    @property
+    def golden_length(self):
+        return len(self.golden_trace())
+
+    # -- single experiment ---------------------------------------------------
+    def _new_core(self, spec, detect):
+        injector = None if spec.is_state else SignalInjector(spec)
+        core = CheckedCore(self.embedded, injector=injector, detect=detect)
+        return core, injector
+
+    def _masking_run(self, spec, duration, inject_at):
+        """Checkers-off run; returns (masked, activated_at, hung)."""
+        golden = self.golden_trace()
+        limit = int(len(golden) * self.run_slack) + 64
+        core, injector = self._new_core(spec, detect=False)
+        schedule = FaultSchedule(spec, duration, inject_at)
+        step = 0
+        while not core.halted and step < limit:
+            schedule.before_step(step, injector, core)
+            record = core.step()
+            if record is None:
+                return False, step, True  # hung: liveness violation
+            schedule.after_step(injector, core)
+            if step < len(golden):
+                if record != golden[step]:
+                    # First architectural impact: the fault is unmasked.
+                    # A transient is removed here (activation methodology);
+                    # classification needs nothing further.
+                    return False, step, False
+            else:
+                return False, step, False  # ran past golden: diverged
+            step += 1
+        if not core.halted:
+            return False, step, True  # still running: livelock
+        if step != len(golden):
+            return False, step, False  # halted early
+        if core.architectural_state() != self._golden_final:
+            return False, step, False
+        return True, None, False
+
+    def _detection_run(self, spec, duration, inject_at):
+        """Checkers-on run; returns (detected, event, hung)."""
+        golden = self.golden_trace()
+        limit = int(len(golden) * self.run_slack) + 64
+        core, injector = self._new_core(spec, detect=True)
+        schedule = FaultSchedule(spec, duration, inject_at)
+        diverged = False
+        step = 0
+        # Latency is measured from the error's first architectural impact
+        # (its activation), as in Sec. 4.2; until the fault activates, the
+        # injection point itself is the reference.
+        base_instret = inject_at
+        base_cycle = 0
+        base_block = 0
+        try:
+            while not core.halted and step < limit:
+                if step == inject_at:
+                    base_cycle = core.cycles
+                    base_block = core.block_index
+                schedule.before_step(step, injector, core)
+                record = core.step()
+                if record is None:
+                    return False, None, True  # hung undetected (shouldn't happen)
+                schedule.after_step(injector, core)
+                if (step >= inject_at and not diverged
+                        and (step >= len(golden) or record != golden[step])):
+                    diverged = True
+                    base_instret = step
+                    base_cycle = core.cycles
+                    base_block = core.block_index
+                    schedule.deactivate_on_divergence(injector)
+                step += 1
+        except ArgusError as exc:
+            event = exc.event
+            latency = {
+                "instructions": max(event.instret - base_instret, 0),
+                "cycles": max(event.cycle - base_cycle, 0),
+                "blocks": max(event.block_index - base_block, 0),
+            }
+            return True, (event, latency), False
+        return False, None, False
+
+    def run_experiment(self, spec, duration, inject_at=None):
+        """Run both phases for one fault; returns an ExperimentResult."""
+        golden = self.golden_trace()
+        if inject_at is None:
+            inject_at = self.rng.randrange(0, max(int(len(golden) * 0.85), 1))
+        masked, activated_at, hung1 = self._masking_run(spec, duration, inject_at)
+        detected, info, hung2 = self._detection_run(spec, duration, inject_at)
+        checker = None
+        detail = ""
+        lat_i = lat_c = lat_b = None
+        if detected:
+            event, latency = info
+            checker = event.checker
+            detail = event.detail
+            lat_i = latency["instructions"]
+            lat_c = latency["cycles"]
+            lat_b = latency["blocks"]
+        return ExperimentResult(
+            spec=spec,
+            duration=duration,
+            inject_at=inject_at,
+            masked=masked,
+            detected=detected,
+            checker=checker,
+            detail=detail,
+            activated_at=activated_at,
+            latency_instructions=lat_i,
+            latency_cycles=lat_c,
+            latency_blocks=lat_b,
+            hung=hung1 or hung2,
+        )
+
+    # -- whole campaign ------------------------------------------------------
+    def run(self, experiments=1000, duration=TRANSIENT, progress=None):
+        """Run ``experiments`` weighted-sampled injections of one duration."""
+        summary = CampaignSummary(duration=duration)
+        sampled = sample_points(self.points, experiments, self.rng)
+        for i, point in enumerate(sampled):
+            summary.add(self.run_experiment(point.spec, duration))
+            if progress is not None and (i + 1) % progress == 0:
+                print("  [%s] %d/%d experiments" % (duration, i + 1, experiments))
+        return summary
+
+    def run_both(self, experiments=1000, progress=None):
+        """Transient + permanent campaigns (the two rows of Table 1)."""
+        return {
+            TRANSIENT: self.run(experiments, TRANSIENT, progress),
+            PERMANENT: self.run(experiments, PERMANENT, progress),
+        }
+
+    def false_positive_check(self, runs=3):
+        """Sec. 4.1.2: with no injected faults, no checker may ever fire.
+
+        Returns the number of error-free runs completed (raises on any
+        false positive).
+        """
+        for _ in range(runs):
+            core = CheckedCore(self.embedded, detect=True)
+            core.run()
+        return runs

@@ -1,0 +1,38 @@
+"""Tap-level signal-fault injector.
+
+The checked core routes every micro-architectural value through
+``tap(name, value, index)``.  A :class:`SignalInjector` holds one
+:class:`~repro.faults.model.FaultSpec` and, while enabled, XORs the
+fault mask into every evaluation of the matching signal - the behaviour
+of a faulty gate output feeding all of the signal's consumers.
+"""
+
+
+class SignalInjector:
+    """Injects one combinational signal fault into a CheckedCore."""
+
+    def __init__(self, spec):
+        if spec.is_state:
+            raise ValueError("state faults use StateFaultApplier, not the tap")
+        self.spec = spec
+        self.enabled = False
+        self.fired = 0
+        # Hot-path locals.
+        self._target = spec.target
+        self._mask = spec.mask
+        self._index = spec.index
+
+    def tap(self, name, value, index=None):
+        """The hook installed on the core: flip matching signals."""
+        if not self.enabled or name != self._target:
+            return value
+        if self._index is not None and index != self._index:
+            return value
+        self.fired += 1
+        return value ^ self._mask
+
+    def enable(self):
+        self.enabled = True
+
+    def disable(self):
+        self.enabled = False

@@ -1,0 +1,226 @@
+"""The stress-test microbenchmark (paper Sec. 4.1).
+
+The paper's error-injection experiments run "a 'stress-test'
+microbenchmark that involves a broad range of registers and instruction
+types", because benchmark inner loops touch too few registers and
+opcodes.  This program exercises:
+
+* all ALU, logic, shift and extension operations;
+* signed/unsigned multiply and divide (with live quotient uses);
+* word/half/byte loads and stores, signed and unsigned;
+* every compare condition, taken and not-taken branches;
+* direct calls/returns and an indirect jump through a ``.codeptr``
+  jump table (the DCS-in-pointer-MSBs path);
+* nearly all 32 registers.
+
+The multiply-accumulate-style upper product bits stay architecturally
+unread (as in the paper, whose benchmarks never use ``l.mac``), so
+faults confined to them are masked.
+"""
+
+from repro.toolchain.embed import embed_program
+
+STRESS_ITERATIONS = 6
+
+
+def stress_test_source(iterations=STRESS_ITERATIONS):
+    """Assembly source of the stress-test microbenchmark."""
+    return """
+        .text
+start:  li   r1, 0x7F00          # stack pointer region
+        li   r3, 0               # running checksum
+        li   r4, %(iters)d       # outer loop counter
+        la   r6, table
+        la   r7, words
+        la   r8, bytes
+        li   r10, 0x1234
+        li   r11, 0xBEEF
+        li   r12, 7
+        li   r13, -13
+        li   r14, 0x0F0F0F0F
+        li   r15, 0x13579BDF
+        movhi r16, 0xDEAD
+        ori  r17, r16, 0x7777
+        li   r18, 3
+        li   r19, 29
+        li   r20, 1021
+        li   r21, -7
+        li   r22, 0
+        li   r23, 0x00FF
+        li   r24, 0x55AA
+
+outer:  # ---- ALU / logic / shifts ------------------------------------
+        add  r25, r10, r11
+        sub  r26, r25, r13
+        and  r27, r14, r15
+        or   r28, r27, r24
+        xor  r29, r28, r17
+        sll  r30, r23, r18
+        srl  r31, r15, r12
+        sra  r2, r13, r18
+        slli r5, r23, 9
+        srli r5, r5, 3
+        srai r5, r5, 2
+        exths r2, r29
+        extbs r2, r2
+        exthz r5, r17
+        extbz r5, r5
+        add  r3, r3, r25
+        xor  r3, r3, r29
+        add  r3, r3, r30
+        xor  r3, r3, r31
+        add  r3, r3, r2
+
+        # ---- multiply / divide ---------------------------------------
+        mul  r25, r19, r20
+        mulu r26, r15, r12
+        div  r27, r25, r19
+        divu r28, r26, r12
+        add  r3, r3, r25
+        xor  r3, r3, r26
+        add  r3, r3, r27
+        xor  r3, r3, r28
+        mul  r25, r13, r21
+        add  r3, r3, r25
+
+        # ---- memory: all widths, both directions ----------------------
+        sw   r3, 0(r7)
+        lwz  r25, 0(r7)
+        sh   r3, 4(r7)
+        lhz  r26, 4(r7)
+        lhs  r27, 4(r7)
+        sb   r3, 0(r8)
+        lbz  r28, 0(r8)
+        lbs  r29, 0(r8)
+        sb   r24, 3(r8)
+        lbz  r30, 3(r8)
+        sh   r24, 6(r7)
+        lhs  r31, 6(r7)
+        xor  r3, r3, r25
+        add  r3, r3, r26
+        xor  r3, r3, r27
+        add  r3, r3, r28
+        xor  r3, r3, r29
+        add  r3, r3, r30
+        xor  r3, r3, r31
+
+        # ---- compares + branches both ways -----------------------------
+        sfeq r10, r11
+        bf   never1
+        nop
+        sfne r10, r11
+        bnf  never1
+        nop
+        sfgts r12, r13
+        bnf  never1
+        nop
+        sfltu r12, r20
+        bnf  never1
+        nop
+        sfles r13, r12
+        bf   taken1
+        nop
+        j    never1
+        nop
+taken1: sfgeu r20, r12
+        bnf  never1
+        nop
+        sfgesi r12, -100
+        bnf  never1
+        nop
+        sfltsi r13, 0
+        bnf  never1
+        nop
+
+        # ---- call / return + indirect jump ------------------------------
+        jal  mixer
+        nop
+        add  r3, r3, r26
+        andi r5, r4, 1
+        slli r5, r5, 2
+        add  r5, r5, r6
+        lwz  r5, 0(r5)
+        jr   r5
+        nop
+
+via_a:  addi r3, r3, 101
+        j    joined
+        nop
+via_b:  addi r3, r3, 707
+        j    joined
+        nop
+
+joined: addi r4, r4, -1
+        sfgtsi r4, 0
+        bf   outer
+        nop
+
+        # ---- wrap up: sweep every register into the checksum so no
+        # register cell can hold a dormant error (the paper's stress test
+        # "involves a broad range of registers"; a never-again-read
+        # register would turn any cell flip into a silent corruption).
+        la   r7, result
+        sw   r3, 0(r7)
+        xor  r3, r3, r1
+        xor  r3, r3, r2
+        xor  r3, r3, r4
+        slli r5, r5, 5        # r5 last held a jump-table pointer whose
+        srli r5, r5, 5        # MSBs carry a DCS tag; fold address bits only
+        xor  r3, r3, r5
+        xor  r3, r3, r6
+        xor  r3, r3, r7
+        xor  r3, r3, r8
+        slli r5, r9, 5        # read the link register but fold only its
+        srli r5, r5, 5        # 27 address bits (the MSBs hold the DCS tag)
+        xor  r3, r3, r5
+        xor  r3, r3, r10
+        xor  r3, r3, r11
+        xor  r3, r3, r12
+        xor  r3, r3, r13
+        xor  r3, r3, r14
+        xor  r3, r3, r15
+        xor  r3, r3, r16
+        xor  r3, r3, r17
+        xor  r3, r3, r18
+        xor  r3, r3, r19
+        xor  r3, r3, r20
+        xor  r3, r3, r21
+        xor  r3, r3, r22
+        xor  r3, r3, r23
+        xor  r3, r3, r24
+        xor  r3, r3, r25
+        xor  r3, r3, r26
+        xor  r3, r3, r27
+        xor  r3, r3, r28
+        xor  r3, r3, r29
+        xor  r3, r3, r30
+        xor  r3, r3, r31
+        sw   r3, 4(r7)
+        halt
+
+never1: li   r3, 0xDEAD
+        la   r7, result
+        sw   r3, 0(r7)
+        halt
+
+mixer:  # leaf function: mixes caller state into r26
+        xor  r26, r3, r24
+        add  r26, r26, r12
+        sll  r26, r26, r18
+        srl  r26, r26, r18
+        ret
+        nop
+
+        .data
+words:  .space 32
+bytes:  .space 8
+result: .word 0, 0
+        .align 4
+table:  .codeptr via_a
+        .codeptr via_b
+""" % {"iters": iterations}
+
+
+def build_stress_program(iterations=STRESS_ITERATIONS, **embed_kwargs):
+    """Embedded (Argus-protected) stress-test binary."""
+    return embed_program(stress_test_source(iterations), **embed_kwargs)

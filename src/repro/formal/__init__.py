@@ -1,0 +1,43 @@
+"""Executable model of Appendix A: the completeness argument.
+
+The paper proves that ideal control-flow, dataflow (shape + value),
+memory and computation checkers suffice to detect *any* error in an
+abstract von Neumann machine.  This package turns that proof into code:
+
+* :mod:`repro.formal.machine` - the abstract machine of Appendix A
+  (registers + memory, one instruction per timestep, no I/O or
+  interrupts), its execution *traces* (the value-annotated graphs of the
+  proof), the five ideal checker conditions (CFC, DFC_S, DFC_V, MFC_S +
+  MFC_V folded into the memory variants, CC), and a library of trace
+  *mutations* modelling arbitrary single errors.
+
+The hypothesis test-suite then checks both directions of the theorem on
+random programs: a trace satisfying every condition reaches exactly the
+correct final state (soundness of the proof's induction), and any
+mutation that changes the final state violates at least one condition
+(completeness - no silent corruption slips past ideal checkers).
+"""
+
+from repro.formal.machine import (
+    AbstractInstruction,
+    AbstractMachine,
+    CheckResult,
+    ExecutionTrace,
+    MUTATION_KINDS,
+    check_trace,
+    correct_trace,
+    mutate_trace,
+    random_program,
+)
+
+__all__ = [
+    "AbstractInstruction",
+    "AbstractMachine",
+    "CheckResult",
+    "ExecutionTrace",
+    "MUTATION_KINDS",
+    "check_trace",
+    "correct_trace",
+    "mutate_trace",
+    "random_program",
+]

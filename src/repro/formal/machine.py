@@ -1,0 +1,379 @@
+"""The abstract von Neumann machine of Appendix A, executable.
+
+The machine has a finite register file and memory, no I/O, interrupts or
+exceptions; each timestep executes one instruction whose specification
+names input addresses, an output address and a function (immediates are
+part of the function).  Register addresses are constants; memory
+addresses are functions of register input values - which is what gives
+the memory-flow checker (MFC_S) its extra address-check obligation.
+
+An :class:`ExecutionTrace` is the proof's value-annotated graph, one
+step per timestep recording the *observed* specification, the input
+edges ``(address, value-read)`` and the output edge
+``(address, value-written)``.  :func:`check_trace` evaluates the ideal
+checker conditions of Appendix A against a trace;
+:func:`mutate_trace` produces single-error variants covering every edge
+and vertex class of the proof.
+"""
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+NUM_REGS = 8
+MEM_SIZE = 16
+VALUE_MASK = 0xFFFF
+
+# Register addresses are ("r", i); memory addresses ("m", i).
+
+_BINARY_FUNCS = {
+    "add": lambda a, b: (a + b) & VALUE_MASK,
+    "sub": lambda a, b: (a - b) & VALUE_MASK,
+    "mul": lambda a, b: (a * b) & VALUE_MASK,
+    "xor": lambda a, b: a ^ b,
+    "and": lambda a, b: a & b,
+}
+
+
+@dataclass(frozen=True)
+class AbstractInstruction:
+    """One instruction specification (Appendix A's ISA mapping).
+
+    ``op`` is a binary ALU op, ``const`` (immediate in ``imm``),
+    ``load`` (output register <- memory at address reg+imm) or ``store``
+    (memory at address reg+imm <- value register).
+    """
+
+    op: str
+    inputs: Tuple = ()  # register indices
+    output: int = 0  # register index (ALU/const/load) - unused for store
+    imm: int = 0
+
+    def memory_address(self, reg_values):
+        """Memory input/output address as a function of register values."""
+        if self.op not in ("load", "store"):
+            return None
+        base = reg_values[self.inputs[0]]
+        return (base + self.imm) % MEM_SIZE
+
+
+@dataclass
+class Step:
+    """One executed timestep of a trace (the proof's per-t subgraph)."""
+
+    spec: AbstractInstruction  # the specification actually executed
+    input_edges: list  # [(address, value_read)], address = ("r",i)/("m",i)
+    output_edge: tuple  # (address, value_written)
+
+
+@dataclass
+class ExecutionTrace:
+    """A full execution: initial state + one Step per timestep."""
+
+    program: list  # the static instruction sequence
+    initial_regs: list
+    initial_mem: list
+    steps: list = field(default_factory=list)
+
+    def final_state(self):
+        """Replay the trace's output edges over the initial state."""
+        regs = list(self.initial_regs)
+        mem = list(self.initial_mem)
+        for step in self.steps:
+            (kind, index), value = step.output_edge
+            if kind == "r":
+                regs[index] = value & VALUE_MASK
+            else:
+                mem[index] = value & VALUE_MASK
+        return regs, mem
+
+
+class AbstractMachine:
+    """Reference executor: produces the unique correct trace."""
+
+    def __init__(self, program, initial_regs=None, initial_mem=None):
+        self.program = list(program)
+        self.initial_regs = list(initial_regs or [0] * NUM_REGS)
+        self.initial_mem = list(initial_mem or [0] * MEM_SIZE)
+
+    def run(self):
+        regs = list(self.initial_regs)
+        mem = list(self.initial_mem)
+        trace = ExecutionTrace(self.program, list(self.initial_regs),
+                               list(self.initial_mem))
+        for spec in self.program:
+            if spec.op == "const":
+                inputs = []
+                value = spec.imm & VALUE_MASK
+                output = (("r", spec.output), value)
+            elif spec.op in _BINARY_FUNCS:
+                inputs = [(("r", i), regs[i]) for i in spec.inputs]
+                value = _BINARY_FUNCS[spec.op](regs[spec.inputs[0]],
+                                               regs[spec.inputs[1]])
+                output = (("r", spec.output), value)
+            elif spec.op == "load":
+                address = spec.memory_address(regs)
+                inputs = [(("r", spec.inputs[0]), regs[spec.inputs[0]]),
+                          (("m", address), mem[address])]
+                output = (("r", spec.output), mem[address])
+            elif spec.op == "store":
+                address = spec.memory_address(regs)
+                inputs = [(("r", spec.inputs[0]), regs[spec.inputs[0]]),
+                          (("r", spec.inputs[1]), regs[spec.inputs[1]])]
+                output = (("m", address), regs[spec.inputs[1]])
+            else:  # pragma: no cover - op set is closed
+                raise ValueError("unknown op %r" % spec.op)
+            trace.steps.append(Step(spec, inputs, output))
+            (kind, index), value = output
+            if kind == "r":
+                regs[index] = value
+            else:
+                mem[index] = value
+        return trace
+
+
+def correct_trace(program, initial_regs=None, initial_mem=None):
+    """The correct execution's trace (Appendix A's unique construction)."""
+    return AbstractMachine(program, initial_regs, initial_mem).run()
+
+
+# ---------------------------------------------------------------------------
+# The ideal checker conditions.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CheckResult:
+    """Which checker conditions a trace violates (empty = all pass)."""
+
+    violations: list = field(default_factory=list)
+
+    def flag(self, checker, timestep, detail):
+        self.violations.append((checker, timestep, detail))
+
+    @property
+    def ok(self):
+        return not self.violations
+
+    def violated(self, checker):
+        return any(v[0] == checker for v in self.violations)
+
+
+def check_trace(trace):
+    """Evaluate CFC, DFC_S, DFC_V, MFC_S, MFC_V and CC over a trace.
+
+    The conditions follow Appendix A exactly:
+
+    * **CFC** - the t-th executed specification equals the t-th program
+      instruction (and exactly the whole program executed: liveness).
+    * **DFC_S / MFC_S** - each input/output edge connects to the vertex
+      with the address the specification names; memory address functions
+      are evaluated correctly from the (checked) register inputs.
+    * **DFC_V / MFC_V** - the value on every data-propagation edge equals
+      the value of the state vertex it leaves (state replayed from
+      checked writes).
+    * **CC** - every output value equals the specified function of the
+      input values actually read.
+    """
+    result = CheckResult()
+    regs = list(trace.initial_regs)
+    mem = list(trace.initial_mem)
+
+    # CFC: liveness (length) + per-step specification identity.
+    if len(trace.steps) != len(trace.program):
+        result.flag("CFC", len(trace.steps), "wrong instruction count")
+    for t, step in enumerate(trace.steps):
+        if t < len(trace.program) and step.spec != trace.program[t]:
+            result.flag("CFC", t, "specification differs from program")
+
+    for t, step in enumerate(trace.steps):
+        spec = step.spec
+        reg_inputs = [edge for edge in step.input_edges if edge[0][0] == "r"]
+        mem_inputs = [edge for edge in step.input_edges if edge[0][0] == "m"]
+
+        # ---- shape: register input edges name the spec's addresses ----
+        if spec.op in _BINARY_FUNCS or spec.op in ("load", "store"):
+            expected = [("r", i) for i in spec.inputs]
+            actual = [addr for addr, __ in reg_inputs]
+            if actual != expected:
+                result.flag("DFC_S", t, "register input edges %r != %r"
+                            % (actual, expected))
+        elif spec.op == "const" and step.input_edges:
+            result.flag("DFC_S", t, "const reads inputs")
+
+        # ---- values: every edge carries the state's value --------------
+        for (kind, index), value in reg_inputs:
+            if 0 <= index < NUM_REGS and value != regs[index]:
+                result.flag("DFC_V", t, "read r%d=%d, state has %d"
+                            % (index, value, regs[index]))
+
+        # ---- memory shape + values -------------------------------------
+        if spec.op in ("load", "store"):
+            reg_values = list(regs)
+            # Address function evaluated from the *checked* register
+            # input values (the proof's MFC_S condition).
+            expected_address = spec.memory_address(reg_values)
+            if spec.op == "load":
+                if len(mem_inputs) != 1:
+                    result.flag("MFC_S", t, "load needs one memory edge")
+                else:
+                    (kind, index), value = mem_inputs[0]
+                    if index != expected_address:
+                        result.flag("MFC_S", t, "load edge m%d != m%d"
+                                    % (index, expected_address))
+                    elif value != mem[index]:
+                        result.flag("MFC_V", t, "read m%d=%d, state has %d"
+                                    % (index, value, mem[index]))
+            else:
+                (okind, oindex), __ = step.output_edge
+                if okind != "m" or oindex != expected_address:
+                    result.flag("MFC_S", t, "store edge %r != m%d"
+                                % (step.output_edge[0], expected_address))
+        elif mem_inputs:
+            result.flag("MFC_S", t, "unexpected memory edge")
+
+        # ---- output shape -----------------------------------------------
+        (okind, oindex), ovalue = step.output_edge
+        if spec.op != "store":
+            if okind != "r" or oindex != spec.output:
+                result.flag("DFC_S", t, "output edge %r != r%d"
+                            % (step.output_edge[0], spec.output))
+
+        # ---- computation -------------------------------------------------
+        if spec.op == "const":
+            if ovalue != (spec.imm & VALUE_MASK):
+                result.flag("CC", t, "const value wrong")
+        elif spec.op in _BINARY_FUNCS:
+            read = {addr: value for addr, value in reg_inputs}
+            operands = [read.get(("r", i), 0) for i in spec.inputs]
+            if len(operands) == 2:
+                expected = _BINARY_FUNCS[spec.op](operands[0], operands[1])
+                if ovalue != expected:
+                    result.flag("CC", t, "%s(%r) = %d, observed %d"
+                                % (spec.op, operands, expected, ovalue))
+        elif spec.op == "load":
+            if mem_inputs and ovalue != mem_inputs[0][1]:
+                result.flag("CC", t, "load output differs from value read")
+        elif spec.op == "store":
+            read = {addr: value for addr, value in reg_inputs}
+            if ovalue != read.get(("r", spec.inputs[1]), None):
+                result.flag("CC", t, "store writes a different value")
+
+        # Advance the checked architectural state along the trace's
+        # *checked* edges (the induction step of the proof).
+        if okind == "r":
+            if 0 <= oindex < NUM_REGS:
+                regs[oindex] = ovalue & VALUE_MASK
+        else:
+            if 0 <= oindex < MEM_SIZE:
+                mem[oindex] = ovalue & VALUE_MASK
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Error model: single mutations of the trace.
+# ---------------------------------------------------------------------------
+
+MUTATION_KINDS = (
+    "flip_input_value",  # a value is corrupted on a propagation edge
+    "redirect_input_edge",  # an input connects to the wrong register
+    "flip_output_value",  # a computation produces the wrong value
+    "redirect_output_edge",  # a result lands at the wrong address
+    "swap_specification",  # the wrong instruction executes (decode/fetch)
+    "drop_instruction",  # an instruction never executes (liveness)
+)
+
+
+def mutate_trace(trace, kind, rng):
+    """Apply one error of ``kind`` to a copy of ``trace``.
+
+    Returns the mutated trace, or None if the kind is inapplicable to
+    the randomly chosen site (caller retries with another seed).
+    """
+    if not trace.steps:
+        return None
+    steps = [Step(s.spec, list(s.input_edges), s.output_edge)
+             for s in trace.steps]
+    mutated = ExecutionTrace(trace.program, list(trace.initial_regs),
+                             list(trace.initial_mem), steps)
+    t = rng.randrange(len(steps))
+    step = steps[t]
+    if kind == "flip_input_value":
+        if not step.input_edges:
+            return None
+        i = rng.randrange(len(step.input_edges))
+        addr, value = step.input_edges[i]
+        step.input_edges[i] = (addr, value ^ (1 << rng.randrange(16)))
+    elif kind == "redirect_input_edge":
+        candidates = [i for i, (addr, __) in enumerate(step.input_edges)
+                      if addr[0] == "r"]
+        if not candidates:
+            return None
+        i = rng.choice(candidates)
+        (kind_, index), __value = step.input_edges[i]
+        new_index = (index + 1 + rng.randrange(NUM_REGS - 1)) % NUM_REGS
+        # The edge now leaves a different vertex and carries its value.
+        regs, __mem = _state_before(mutated, t)
+        step.input_edges[i] = (("r", new_index), regs[new_index])
+    elif kind == "flip_output_value":
+        addr, value = step.output_edge
+        step.output_edge = (addr, value ^ (1 << rng.randrange(16)))
+    elif kind == "redirect_output_edge":
+        (okind, index), value = step.output_edge
+        if okind == "r":
+            new_index = (index + 1 + rng.randrange(NUM_REGS - 1)) % NUM_REGS
+            step.output_edge = (("r", new_index), value)
+        else:
+            new_index = (index + 1 + rng.randrange(MEM_SIZE - 1)) % MEM_SIZE
+            step.output_edge = (("m", new_index), value)
+    elif kind == "swap_specification":
+        # Re-execute a different instruction at this slot, consistently
+        # (its own inputs/outputs): a fetch/decode error.
+        other = AbstractInstruction(
+            op="const", output=rng.randrange(NUM_REGS),
+            imm=rng.randrange(VALUE_MASK))
+        if other == step.spec:
+            return None
+        steps[t] = Step(other, [], (("r", other.output), other.imm))
+    elif kind == "drop_instruction":
+        del steps[t]
+    else:  # pragma: no cover - kinds are closed
+        raise ValueError(kind)
+    return mutated
+
+
+def _state_before(trace, timestep):
+    """Architectural state right before ``timestep`` (trace replay)."""
+    regs = list(trace.initial_regs)
+    mem = list(trace.initial_mem)
+    for step in trace.steps[:timestep]:
+        (kind, index), value = step.output_edge
+        if kind == "r" and 0 <= index < NUM_REGS:
+            regs[index] = value & VALUE_MASK
+        elif kind == "m" and 0 <= index < MEM_SIZE:
+            mem[index] = value & VALUE_MASK
+    return regs, mem
+
+
+def random_program(rng, length=12):
+    """A random abstract program touching registers and memory."""
+    program = []
+    for _ in range(length):
+        choice = rng.random()
+        if choice < 0.3:
+            program.append(AbstractInstruction(
+                "const", output=rng.randrange(NUM_REGS),
+                imm=rng.randrange(VALUE_MASK)))
+        elif choice < 0.7:
+            op = rng.choice(sorted(_BINARY_FUNCS))
+            program.append(AbstractInstruction(
+                op, inputs=(rng.randrange(NUM_REGS), rng.randrange(NUM_REGS)),
+                output=rng.randrange(NUM_REGS)))
+        elif choice < 0.85:
+            program.append(AbstractInstruction(
+                "load", inputs=(rng.randrange(NUM_REGS),),
+                output=rng.randrange(NUM_REGS), imm=rng.randrange(MEM_SIZE)))
+        else:
+            program.append(AbstractInstruction(
+                "store", inputs=(rng.randrange(NUM_REGS),
+                                 rng.randrange(NUM_REGS)),
+                imm=rng.randrange(MEM_SIZE)))
+    return program

@@ -1,0 +1,25 @@
+"""Object-file I/O for assembled and Argus-embedded binaries.
+
+:mod:`repro.io.objfile` defines a JSON-based object format holding the
+text words, data image, symbol table and (for embedded binaries) the
+entry DCS.  Loading an embedded object re-derives and verifies the full
+Argus metadata from the binary itself
+(:func:`repro.toolchain.embed.verify_embedding`), so a tampered object
+is rejected the way real Argus hardware would reject it at runtime.
+"""
+
+from repro.io.objfile import (
+    ObjFileError,
+    load_embedded,
+    load_program,
+    save_embedded,
+    save_program,
+)
+
+__all__ = [
+    "ObjFileError",
+    "load_embedded",
+    "load_program",
+    "save_embedded",
+    "save_program",
+]

@@ -1,0 +1,128 @@
+"""JSON object-file format (".aro": Argus Reproduction Object).
+
+Layout::
+
+    {
+      "format": "argus-repro-object",
+      "version": 1,
+      "kind": "plain" | "embedded",
+      "text_base": int, "entry": int,
+      "words": ["0x...", ...],          # text, one hex word per entry
+      "data_base": int, "data": "hex",  # data segment image
+      "labels": {"name": addr, ...},
+      "codeptr_sites": [[addr, "label"], ...],
+      "entry_dcs": int                  # embedded objects only
+    }
+
+Plain objects round-trip byte-exactly.  Embedded objects additionally
+carry the entry DCS; :func:`load_embedded` re-derives every block DCS
+and successor field from the words and refuses objects whose embedded
+payload - or entry DCS - disagrees, giving load-time integrity on top
+of the run-time checks.
+"""
+
+import json
+
+from repro.asm.program import Program
+from repro.toolchain.embed import EmbedError, verify_embedding
+
+FORMAT_NAME = "argus-repro-object"
+FORMAT_VERSION = 1
+
+
+class ObjFileError(ValueError):
+    """Raised for malformed, mismatched or tampered object files."""
+
+
+def _program_to_dict(program, kind):
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "kind": kind,
+        "text_base": program.text_base,
+        "entry": program.entry,
+        "words": ["0x%08x" % word for word in program.words],
+        "data_base": program.data_base,
+        "data": bytes(program.data).hex(),
+        "labels": dict(program.labels),
+        "codeptr_sites": [[addr, label] for addr, label in program.codeptr_sites],
+    }
+
+
+def _program_from_dict(payload):
+    if payload.get("format") != FORMAT_NAME:
+        raise ObjFileError("not an %s file" % FORMAT_NAME)
+    if payload.get("version") != FORMAT_VERSION:
+        raise ObjFileError("unsupported object version %r" % payload.get("version"))
+    try:
+        words = [int(word, 16) & 0xFFFFFFFF for word in payload["words"]]
+        program = Program(
+            text_base=int(payload["text_base"]),
+            words=words,
+            data_base=int(payload["data_base"]),
+            data=bytearray.fromhex(payload["data"]),
+            labels={str(k): int(v) for k, v in payload["labels"].items()},
+            entry=int(payload["entry"]),
+            stmts=None,  # source IR does not survive serialization
+            insn_addrs={},
+            codeptr_sites=[(int(a), str(l)) for a, l in payload["codeptr_sites"]],
+            lines=[],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ObjFileError("malformed object file: %s" % exc)
+    return program
+
+
+def save_program(program, path):
+    """Write a plain (unprotected) binary as an object file."""
+    with open(path, "w") as handle:
+        json.dump(_program_to_dict(program, "plain"), handle, indent=1)
+
+
+def load_program(path):
+    """Load a plain object file back into a :class:`Program`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return _program_from_dict(payload)
+
+
+def save_embedded(embedded, path):
+    """Write an Argus-embedded binary (words + entry DCS header)."""
+    payload = _program_to_dict(embedded.program, "embedded")
+    payload["entry_dcs"] = embedded.entry_dcs
+    payload["base_words"] = embedded.base_words
+    payload["terminator_sigs"] = embedded.terminator_sigs
+    payload["capacity_sigs"] = embedded.capacity_sigs
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1)
+
+
+def load_embedded(path):
+    """Load and *verify* an embedded object file.
+
+    Returns an :class:`~repro.toolchain.embed.EmbeddedProgram` whose
+    metadata was re-derived from the binary; raises
+    :class:`ObjFileError` when the object was not saved as embedded,
+    when the embedded payload disagrees with the recomputed successor
+    DCSs, or when the stored entry DCS does not match the entry block.
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("kind") != "embedded":
+        raise ObjFileError("object is not an embedded binary")
+    program = _program_from_dict(payload)
+    try:
+        embedded = verify_embedding(
+            program,
+            base_words=payload.get("base_words"),
+            terminator_sigs=payload.get("terminator_sigs"),
+            capacity_sigs=payload.get("capacity_sigs"),
+        )
+    except EmbedError as exc:
+        raise ObjFileError("embedding verification failed: %s" % exc)
+    stored_dcs = payload.get("entry_dcs")
+    if stored_dcs != embedded.entry_dcs:
+        raise ObjFileError(
+            "entry DCS mismatch: header 0x%02x vs recomputed 0x%02x"
+            % (stored_dcs, embedded.entry_dcs))
+    return embedded

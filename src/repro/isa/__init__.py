@@ -1,0 +1,44 @@
+"""The ``orr`` instruction set: a 32-bit OpenRISC OR1200-like scalar RISC ISA.
+
+The Argus paper prototypes its checkers on the OpenRISC 1200 core.  This
+package defines a faithful stand-in for the relevant subset of ORBIS32:
+fixed 32-bit instructions, 32 general-purpose registers, a single condition
+flag written by compare (``sf*``) instructions, delayed branches, and -
+critically for Argus-1 - instruction formats with *unused encoding bits*
+into which the toolchain embeds Dataflow and Control Signatures (DCSs).
+
+Public API:
+
+* :class:`~repro.isa.opcodes.Op` - enumeration of all operations.
+* :func:`~repro.isa.encoding.encode` / :func:`~repro.isa.decode.decode` -
+  word-level encode/decode.
+* :class:`~repro.isa.decode.Instr` - decoded-instruction record.
+* :mod:`~repro.isa.registers` - register-file conventions (link register,
+  stack pointer, DCS address-bit split).
+"""
+
+from repro.isa.opcodes import Op, COND_NAMES, ALU_FUNC_NAMES
+from repro.isa.encoding import (
+    encode,
+    spare_bit_positions,
+    set_spare_bits,
+    get_spare_bits,
+    EncodingError,
+)
+from repro.isa.decode import decode, Instr, DecodeError
+from repro.isa import registers
+
+__all__ = [
+    "Op",
+    "COND_NAMES",
+    "ALU_FUNC_NAMES",
+    "encode",
+    "decode",
+    "Instr",
+    "DecodeError",
+    "EncodingError",
+    "spare_bit_positions",
+    "set_spare_bits",
+    "get_spare_bits",
+    "registers",
+]

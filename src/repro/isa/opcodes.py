@@ -1,0 +1,172 @@
+"""Operation and encoding-field constants for the ``orr`` ISA.
+
+The ISA uses a 6-bit primary opcode in bits [31:26].  Register-register
+ALU operations share primary opcode ``OP_ALU`` and are selected by a 5-bit
+function code in bits [4:0]; compares share ``OP_SF``/``OP_SFI`` with a
+5-bit condition code in bits [25:21]; immediate shifts share ``OP_SHIFTI``
+with a 2-bit function code.
+
+Unused ("spare") bits - the bits Argus-1 repurposes for DCS embedding -
+are defined per-format in :mod:`repro.isa.encoding`.
+"""
+
+import enum
+
+
+class Op(enum.IntEnum):
+    """Every architectural operation, independent of encoding format."""
+
+    # Control transfer (26-bit PC-relative word offset), one delay slot.
+    J = enum.auto()
+    JAL = enum.auto()
+    BF = enum.auto()  # branch if flag set
+    BNF = enum.auto()  # branch if flag clear
+    JR = enum.auto()  # indirect jump through rb
+    JALR = enum.auto()  # indirect call through rb
+
+    # No-ops and simulator control.
+    NOP = enum.auto()
+    SIG = enum.auto()  # Argus Signature instruction (architectural NOP)
+    HALT = enum.auto()
+
+    # Register-register ALU (OP_ALU + func).
+    ADD = enum.auto()
+    SUB = enum.auto()
+    AND = enum.auto()
+    OR = enum.auto()
+    XOR = enum.auto()
+    SLL = enum.auto()
+    SRL = enum.auto()
+    SRA = enum.auto()
+    MUL = enum.auto()  # signed 32x32 -> 64, low word to rd
+    MULU = enum.auto()
+    DIV = enum.auto()  # signed quotient
+    DIVU = enum.auto()
+    EXTHS = enum.auto()  # sign-extend low halfword
+    EXTBS = enum.auto()  # sign-extend low byte
+    EXTHZ = enum.auto()  # zero-extend low halfword
+    EXTBZ = enum.auto()  # zero-extend low byte
+
+    # Immediate ALU.
+    ADDI = enum.auto()  # sign-extended imm16
+    ANDI = enum.auto()  # zero-extended imm16
+    ORI = enum.auto()
+    XORI = enum.auto()
+    MOVHI = enum.auto()  # rd = imm16 << 16
+    SLLI = enum.auto()
+    SRLI = enum.auto()
+    SRAI = enum.auto()
+
+    # Compare (set flag): register and immediate forms.
+    SF = enum.auto()  # generic; condition in Instr.cond
+    SFI = enum.auto()
+
+    # Memory.
+    LWZ = enum.auto()
+    LHZ = enum.auto()
+    LHS = enum.auto()
+    LBZ = enum.auto()
+    LBS = enum.auto()
+    SW = enum.auto()
+    SH = enum.auto()
+    SB = enum.auto()
+
+
+# ------------------------------------------------------------------
+# Primary opcodes (bits [31:26]).
+# ------------------------------------------------------------------
+
+OPC_J = 0x00
+OPC_JAL = 0x01
+OPC_BNF = 0x03
+OPC_BF = 0x04
+OPC_NOP = 0x05
+OPC_SIG = 0x06
+OPC_HALT = 0x07
+OPC_JR = 0x08
+OPC_JALR = 0x09
+OPC_MOVHI = 0x0E
+
+OPC_LBZ = 0x20
+OPC_LBS = 0x21
+OPC_LHZ = 0x22
+OPC_LHS = 0x23
+OPC_LWZ = 0x24
+
+OPC_ADDI = 0x27
+OPC_ANDI = 0x29
+OPC_ORI = 0x2A
+OPC_XORI = 0x2B
+OPC_SHIFTI = 0x2E
+OPC_SFI = 0x2F
+
+OPC_SB = 0x30
+OPC_SH = 0x31
+OPC_SW = 0x32
+
+OPC_ALU = 0x38
+OPC_SF = 0x39
+
+# ------------------------------------------------------------------
+# ALU function codes (bits [4:0] under OPC_ALU).
+# ------------------------------------------------------------------
+
+ALU_FUNC = {
+    Op.ADD: 0x00,
+    Op.SUB: 0x01,
+    Op.AND: 0x02,
+    Op.OR: 0x03,
+    Op.XOR: 0x04,
+    Op.SLL: 0x05,
+    Op.SRL: 0x06,
+    Op.SRA: 0x07,
+    Op.MUL: 0x08,
+    Op.MULU: 0x09,
+    Op.DIV: 0x0A,
+    Op.DIVU: 0x0B,
+    Op.EXTHS: 0x0C,
+    Op.EXTBS: 0x0D,
+    Op.EXTHZ: 0x0E,
+    Op.EXTBZ: 0x0F,
+}
+FUNC_TO_ALU_OP = {v: k for k, v in ALU_FUNC.items()}
+ALU_FUNC_NAMES = {v: k.name.lower() for k, v in ALU_FUNC.items()}
+
+# Immediate-shift function codes (bits [7:6] under OPC_SHIFTI).
+SHIFTI_FUNC = {Op.SLLI: 0x0, Op.SRLI: 0x1, Op.SRAI: 0x2}
+FUNC_TO_SHIFTI_OP = {v: k for k, v in SHIFTI_FUNC.items()}
+
+# ------------------------------------------------------------------
+# Compare condition codes (bits [25:21] under OPC_SF / OPC_SFI).
+# ------------------------------------------------------------------
+
+
+class Cond(enum.IntEnum):
+    EQ = 0x00
+    NE = 0x01
+    GTU = 0x02
+    GEU = 0x03
+    LTU = 0x04
+    LEU = 0x05
+    GTS = 0x08
+    GES = 0x09
+    LTS = 0x0A
+    LES = 0x0B
+
+
+COND_NAMES = {c.value: c.name.lower() for c in Cond}
+NAME_TO_COND = {c.name.lower(): c.value for c in Cond}
+
+
+#: Operation classes used by the pipeline, the checkers and the embedder.
+BRANCH_OPS = frozenset({Op.J, Op.JAL, Op.BF, Op.BNF, Op.JR, Op.JALR})
+CONDITIONAL_BRANCH_OPS = frozenset({Op.BF, Op.BNF})
+CALL_OPS = frozenset({Op.JAL, Op.JALR})
+INDIRECT_OPS = frozenset({Op.JR, Op.JALR})
+LOAD_OPS = frozenset({Op.LWZ, Op.LHZ, Op.LHS, Op.LBZ, Op.LBS})
+STORE_OPS = frozenset({Op.SW, Op.SH, Op.SB})
+MEM_OPS = LOAD_OPS | STORE_OPS
+MULDIV_OPS = frozenset({Op.MUL, Op.MULU, Op.DIV, Op.DIVU})
+COMPARE_OPS = frozenset({Op.SF, Op.SFI})
+EXT_OPS = frozenset({Op.EXTHS, Op.EXTBS, Op.EXTHZ, Op.EXTBZ})
+SHIFT_OPS = frozenset({Op.SLL, Op.SRL, Op.SRA, Op.SLLI, Op.SRLI, Op.SRAI})

@@ -1,0 +1,68 @@
+"""Register-file conventions for the ``orr`` ISA.
+
+The register file has 32 general-purpose 32-bit registers.  ``r0`` is
+hard-wired to zero (writes are ignored), as in most RISC conventions.
+Following the OR1200 ABI, ``r9`` is the link register and ``r1`` the stack
+pointer.
+
+Argus-1 stores the Dataflow and Control Signature (DCS) of an indirect
+branch target in the 5 most significant bits of the register holding the
+target address (paper Sec. 3.2.2, "Indirect Branches").  Consequently the
+addressable code/data space is 27 bits (128 MiB), and this module provides
+the helpers that split and join ``(address, dcs)`` pairs.
+"""
+
+NUM_REGS = 32
+
+ZERO_REG = 0
+STACK_POINTER = 1
+LINK_REG = 9
+
+#: Number of architectural address bits; the top ``DCS_BITS`` of a 32-bit
+#: pointer are reserved for the embedded DCS of the pointed-to basic block.
+ADDR_BITS = 27
+DCS_BITS = 5
+
+ADDR_MASK = (1 << ADDR_BITS) - 1
+DCS_MASK = (1 << DCS_BITS) - 1
+
+WORD_MASK = 0xFFFFFFFF
+
+REG_NAMES = {i: "r%d" % i for i in range(NUM_REGS)}
+NAME_TO_REG = {name: i for i, name in REG_NAMES.items()}
+# ABI aliases accepted by the assembler.
+NAME_TO_REG["sp"] = STACK_POINTER
+NAME_TO_REG["lr"] = LINK_REG
+NAME_TO_REG["zero"] = ZERO_REG
+
+
+def pack_pointer(address, dcs):
+    """Join a 27-bit address and a 5-bit DCS into a tagged 32-bit pointer."""
+    if address & ~ADDR_MASK:
+        raise ValueError("address 0x%x exceeds %d-bit range" % (address, ADDR_BITS))
+    if dcs & ~DCS_MASK:
+        raise ValueError("dcs 0x%x exceeds %d bits" % (dcs, DCS_BITS))
+    return (dcs << ADDR_BITS) | address
+
+
+def pointer_address(pointer):
+    """Extract the 27-bit address from a tagged pointer."""
+    return pointer & ADDR_MASK
+
+
+def pointer_dcs(pointer):
+    """Extract the 5-bit DCS from the MSBs of a tagged pointer."""
+    return (pointer >> ADDR_BITS) & DCS_MASK
+
+
+def reg_name(index):
+    """Canonical name (``r<n>``) for a register index."""
+    return REG_NAMES[index]
+
+
+def parse_reg(name):
+    """Parse a register name (``r5``, ``sp``, ``lr``, ``zero``) to its index.
+
+    Raises :class:`KeyError` for unknown names.
+    """
+    return NAME_TO_REG[name.lower()]

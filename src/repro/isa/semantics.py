@@ -1,0 +1,153 @@
+"""Architectural semantics of ``orr`` arithmetic.
+
+Lives at ISA level so the CPU cores AND the Argus checkers can share one
+source of execution truth without import cycles.
+
+Keeping these functions as the single source of execution truth means the
+fast core (performance runs) and the checked core (fault injection) cannot
+diverge functionally; integration tests compare their traces directly.
+
+All values are Python ints constrained to 32 bits unsigned; helpers
+convert to signed where the operation demands it.
+"""
+
+from repro.isa.opcodes import Op, Cond
+
+WORD_MASK = 0xFFFFFFFF
+
+
+class ArithmeticError32(Exception):
+    """Raised for operations the hardware cannot perform (none currently;
+    division by zero is defined below to match simple-core behaviour)."""
+
+
+def to_signed(value):
+    """Interpret a 32-bit value as two's-complement signed."""
+    value &= WORD_MASK
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def to_unsigned(value):
+    return value & WORD_MASK
+
+
+def mul64(op, a, b):
+    """Full 64-bit product, as the OR1200 multiplier produces it.
+
+    Only the low 32 bits are architecturally consumed by ``mul``/``mulu``
+    (no multiply-accumulate in our subset); the high bits exist so the
+    fault campaign can reproduce the paper's masked-error class of flips
+    confined to the product's upper half (Sec. 4.1.2).
+    """
+    if op is Op.MUL:
+        product = to_signed(a) * to_signed(b)
+    else:
+        product = (a & WORD_MASK) * (b & WORD_MASK)
+    return product & 0xFFFFFFFFFFFFFFFF
+
+
+def divide(op, a, b):
+    """Quotient and remainder with truncation toward zero (C semantics).
+
+    Division by zero returns (0, dividend): the OR1200 without exception
+    support leaves a defined garbage value; we pin it for determinism and
+    so that the Argus divider check ``B*Q = A - R`` still holds.
+    """
+    if op is Op.DIV:
+        sa, sb = to_signed(a), to_signed(b)
+        if sb == 0:
+            return 0, a & WORD_MASK
+        quotient = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            quotient = -quotient
+        remainder = sa - sb * quotient
+        return quotient & WORD_MASK, remainder & WORD_MASK
+    ua, ub = a & WORD_MASK, b & WORD_MASK
+    if ub == 0:
+        return 0, ua
+    return (ua // ub) & WORD_MASK, (ua % ub) & WORD_MASK
+
+
+def alu_execute(op, a, b=0, shamt=0):
+    """Execute one ALU/shift/extension/muldiv operation; returns 32 bits."""
+    a &= WORD_MASK
+    b &= WORD_MASK
+    if op is Op.ADD or op is Op.ADDI:
+        return (a + b) & WORD_MASK
+    if op is Op.SUB:
+        return (a - b) & WORD_MASK
+    if op is Op.AND or op is Op.ANDI:
+        return a & b
+    if op is Op.OR or op is Op.ORI:
+        return a | b
+    if op is Op.XOR or op is Op.XORI:
+        return a ^ b
+    if op is Op.SLL:
+        return (a << (b & 31)) & WORD_MASK
+    if op is Op.SRL:
+        return a >> (b & 31)
+    if op is Op.SRA:
+        return (to_signed(a) >> (b & 31)) & WORD_MASK
+    if op is Op.SLLI:
+        return (a << shamt) & WORD_MASK
+    if op is Op.SRLI:
+        return a >> shamt
+    if op is Op.SRAI:
+        return (to_signed(a) >> shamt) & WORD_MASK
+    if op is Op.MUL or op is Op.MULU:
+        return mul64(op, a, b) & WORD_MASK
+    if op is Op.DIV or op is Op.DIVU:
+        return divide(op, a, b)[0]
+    if op is Op.EXTHS:
+        value = a & 0xFFFF
+        return (value - 0x10000 if value & 0x8000 else value) & WORD_MASK
+    if op is Op.EXTBS:
+        value = a & 0xFF
+        return (value - 0x100 if value & 0x80 else value) & WORD_MASK
+    if op is Op.EXTHZ:
+        return a & 0xFFFF
+    if op is Op.EXTBZ:
+        return a & 0xFF
+    raise ArithmeticError32("not an ALU operation: %r" % (op,))
+
+
+def evaluate_condition(cond, a, b):
+    """Evaluate a compare condition on two 32-bit operands."""
+    if cond == Cond.EQ:
+        return a == b
+    if cond == Cond.NE:
+        return a != b
+    if cond == Cond.GTU:
+        return (a & WORD_MASK) > (b & WORD_MASK)
+    if cond == Cond.GEU:
+        return (a & WORD_MASK) >= (b & WORD_MASK)
+    if cond == Cond.LTU:
+        return (a & WORD_MASK) < (b & WORD_MASK)
+    if cond == Cond.LEU:
+        return (a & WORD_MASK) <= (b & WORD_MASK)
+    if cond == Cond.GTS:
+        return to_signed(a) > to_signed(b)
+    if cond == Cond.GES:
+        return to_signed(a) >= to_signed(b)
+    if cond == Cond.LTS:
+        return to_signed(a) < to_signed(b)
+    if cond == Cond.LES:
+        return to_signed(a) <= to_signed(b)
+    raise ArithmeticError32("unknown condition %r" % (cond,))
+
+
+def sign_extend_load(op, raw):
+    """Apply a load's extension semantics to raw little-endian bytes value."""
+    if op is Op.LWZ:
+        return raw & WORD_MASK
+    if op is Op.LHZ:
+        return raw & 0xFFFF
+    if op is Op.LHS:
+        value = raw & 0xFFFF
+        return (value - 0x10000 if value & 0x8000 else value) & WORD_MASK
+    if op is Op.LBZ:
+        return raw & 0xFF
+    if op is Op.LBS:
+        value = raw & 0xFF
+        return (value - 0x100 if value & 0x80 else value) & WORD_MASK
+    raise ArithmeticError32("not a load: %r" % (op,))

@@ -1,0 +1,119 @@
+"""Set-associative tag-array cache timing model.
+
+The paper studies 8 KB direct-mapped and 2-way set-associative caches with
+LRU replacement; the D-cache is write-back, write-allocate and blocks on
+misses (Sec. 3.1).  Since data always lives in :class:`MainMemory`, the
+cache only models *timing state*: tags, valid/dirty bits and LRU order.
+That is sufficient for Figures 6-7 (runtime overhead) and for the Argus
+memory checker, which protects the data words themselves.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency parameters of one cache."""
+
+    size_bytes: int = 8192
+    line_bytes: int = 16
+    ways: int = 1
+    hit_cycles: int = 1
+    miss_penalty: int = 20
+    writeback_penalty: int = 0  # absorbed by a write buffer by default
+
+    def __post_init__(self):
+        if self.size_bytes % (self.line_bytes * self.ways):
+            raise ValueError("cache size must be a multiple of line_bytes * ways")
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line size must be a power of two")
+
+    @property
+    def num_sets(self):
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+
+@dataclass
+class CacheStats:
+    """Access counters for reporting."""
+
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self):
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self):
+        if not self.accesses:
+            return 0.0
+        return self.misses / self.accesses
+
+    def reset(self):
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+
+class Cache:
+    """A blocking, write-back, write-allocate set-associative cache.
+
+    ``access`` returns the latency in cycles for a read or write at the
+    given address, updating tag/LRU/dirty state.  The direct-mapped
+    configuration is simply ``ways=1``.
+    """
+
+    def __init__(self, config):
+        self.config = config
+        self.stats = CacheStats()
+        num_sets = config.num_sets
+        if num_sets & (num_sets - 1):
+            raise ValueError("number of sets must be a power of two")
+        self._set_shift = config.line_bytes.bit_length() - 1
+        self._set_mask = num_sets - 1
+        # Per set: list of [tag, dirty] in LRU order (front = most recent).
+        self._sets = [[] for _ in range(num_sets)]
+
+    def access(self, address, is_write=False):
+        """Perform one access; returns its latency in cycles."""
+        cfg = self.config
+        line_addr = address >> self._set_shift
+        ways = self._sets[line_addr & self._set_mask]
+        tag = line_addr
+        for i, entry in enumerate(ways):
+            if entry[0] == tag:
+                if i:
+                    ways.insert(0, ways.pop(i))
+                if is_write:
+                    ways[0][1] = True
+                self.stats.hits += 1
+                return cfg.hit_cycles
+        # Miss: allocate (write-allocate policy covers writes too).
+        self.stats.misses += 1
+        latency = cfg.hit_cycles + cfg.miss_penalty
+        if len(ways) >= cfg.ways:
+            victim = ways.pop()
+            if victim[1]:
+                self.stats.writebacks += 1
+                latency += cfg.writeback_penalty
+        ways.insert(0, [tag, is_write])
+        return latency
+
+    def probe(self, address):
+        """True if the address would hit right now (no state change)."""
+        line_addr = address >> self._set_shift
+        ways = self._sets[line_addr & self._set_mask]
+        return any(entry[0] == line_addr for entry in ways)
+
+    def flush(self):
+        """Invalidate everything; returns the number of dirty lines dropped."""
+        dirty = sum(1 for ways in self._sets for entry in ways if entry[1])
+        for ways in self._sets:
+            ways.clear()
+        return dirty
+
+    def occupancy(self):
+        """Number of valid lines (testing/inspection)."""
+        return sum(len(ways) for ways in self._sets)

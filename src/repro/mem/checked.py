@@ -1,0 +1,146 @@
+"""Argus-1's protected data-memory view (paper Sec. 3.4).
+
+To detect both data corruption and wrong-word accesses, Argus-1 stores
+``D XOR A`` at address ``A`` together with one parity bit computed over
+``D``.  A load from ``A`` reads ``D' = stored XOR A`` and checks
+``parity(D') == stored_parity``:
+
+* a bit flip in the stored data makes the parity stale -> detected;
+* an access that reaches the wrong word ``A'`` returns
+  ``(D2 XOR A') XOR A``, which no longer matches the stored parity of
+  ``D2`` (for any single-bit address error) -> detected.
+
+Sub-word stores use read-modify-write, as footnote 2 of the paper notes
+is standard for per-word EDC systems.  Words never written are defined as
+zero with correct parity (the "initial state is EDC-protected" assumption
+of Appendix A's base case).
+"""
+
+from repro.isa import registers
+
+
+def parity32(value):
+    """Even parity bit over a 32-bit value."""
+    value ^= value >> 16
+    value ^= value >> 8
+    value ^= value >> 4
+    value ^= value >> 2
+    value ^= value >> 1
+    return value & 1
+
+
+class MemoryCheckEvent:
+    """Outcome of a checked load: the functional value plus check status."""
+
+    __slots__ = ("value", "ok")
+
+    def __init__(self, value, ok):
+        self.value = value
+        self.ok = ok
+
+
+class CheckedMemory:
+    """Word-granularity D XOR A + parity protected memory.
+
+    Wraps a raw word store (dict); exposes functional reads/writes that
+    return/accept plain values while keeping protected words internally.
+    ``corrupt_stored_bit`` and ``corrupt_parity`` let the fault-injection
+    framework attack the storage itself.
+    """
+
+    def __init__(self):
+        self._stored = {}  # word address -> D XOR A
+        self._parity = {}  # word address -> parity bit of D
+
+    @staticmethod
+    def _word_addr(address):
+        return address & registers.ADDR_MASK & ~3
+
+    # -- protected word operations --------------------------------------
+    def store_word(self, address, value, parity=None):
+        """Store functional value ``value`` at word address ``address``.
+
+        ``parity`` is the parity bit that travelled with the data from the
+        register file; when omitted it is regenerated here.  Passing the
+        source parity is what lets a store-data-bus fault (value corrupted
+        after parity generation) be caught by the load-side check.
+        """
+        addr = self._word_addr(address)
+        value &= 0xFFFFFFFF
+        self._stored[addr] = value ^ addr
+        self._parity[addr] = parity32(value) if parity is None else (parity & 1)
+
+    def load_word(self, address):
+        """Load and check the word at ``address``.
+
+        Returns a :class:`MemoryCheckEvent`; ``ok`` is False when the
+        recovered value's parity disagrees with the stored parity bit.
+        """
+        addr = self._word_addr(address)
+        if addr not in self._stored:
+            return MemoryCheckEvent(0, True)
+        recovered = (self._stored[addr] ^ addr) & 0xFFFFFFFF
+        ok = parity32(recovered) == self._parity[addr]
+        return MemoryCheckEvent(recovered, ok)
+
+    def store_word_at_physical(self, requested, actual, value, parity=None):
+        """Model a wrong-word store: data scrambled with the *intended*
+        address ``requested`` but written to ``actual``.
+
+        A later load of ``actual`` unscrambles with the wrong address and
+        (for odd-weight address differences) trips parity; the word at
+        ``requested`` is silently stale, which a later load of it cannot
+        see - this is exactly the "silently not performed access" class
+        the paper concedes in Sec. 3.4.
+        """
+        req = self._word_addr(requested)
+        act = self._word_addr(actual)
+        value &= 0xFFFFFFFF
+        self._stored[act] = value ^ req
+        self._parity[act] = parity32(value) if parity is None else (parity & 1)
+
+    def load_word_at_physical(self, requested, actual):
+        """Model a wrong-word access: the core asked for ``requested`` but
+        the (faulty) memory system delivered the word stored at ``actual``.
+
+        The XOR-unscrambling uses the *requested* address, as the core's
+        load path would; a mismatch between the two addresses corrupts the
+        recovered value and (for odd-weight address differences) trips
+        parity, exactly as Sec. 3.4 describes.
+        """
+        req = self._word_addr(requested)
+        act = self._word_addr(actual)
+        stored = self._stored.get(act, 0 ^ act)
+        parity = self._parity.get(act, 0)
+        recovered = (stored ^ req) & 0xFFFFFFFF
+        ok = parity32(recovered) == parity
+        return MemoryCheckEvent(recovered, ok)
+
+    # -- functional (unchecked) helpers -----------------------------------
+    def peek_word(self, address):
+        """Functional value without checking (golden-state comparison)."""
+        addr = self._word_addr(address)
+        if addr not in self._stored:
+            return 0
+        return (self._stored[addr] ^ addr) & 0xFFFFFFFF
+
+    def functional_snapshot(self):
+        """Mapping of word address -> functional value for all written words."""
+        return {addr: (stored ^ addr) & 0xFFFFFFFF for addr, stored in self._stored.items()}
+
+    # -- fault hooks -------------------------------------------------------
+    def corrupt_stored_bit(self, address, bit):
+        """Flip one bit of the protected storage word (data-array fault)."""
+        addr = self._word_addr(address)
+        self._stored[addr] = self._stored.get(addr, 0 ^ addr) ^ (1 << bit)
+        self._parity.setdefault(addr, 0)
+
+    def corrupt_parity(self, address):
+        """Flip the stored parity bit of a word."""
+        addr = self._word_addr(address)
+        self._parity[addr] = self._parity.get(addr, 0) ^ 1
+        self._stored.setdefault(addr, 0 ^ addr)
+
+    def written_words(self):
+        """Sorted word addresses that have been stored to."""
+        return sorted(self._stored)

@@ -1,0 +1,45 @@
+"""The Argus-1 compiler/linker signature toolchain (paper Sec. 3.2.2).
+
+DCSs are added to basic blocks "in three distinct phases as part of
+program compilation and linking":
+
+1. empty Signature instructions are inserted into blocks with
+   insufficient unused bits (and as explicit terminators of fall-through
+   blocks and max-size splits) - :mod:`repro.toolchain.segment`;
+2. the DCSs of all blocks are computed by running the same SHS transfer
+   function the hardware uses over each block - :mod:`repro.toolchain.embed`;
+3. the legal successor blocks are determined and their DCSs embedded into
+   the spare instruction bits, the jump tables (``.codeptr`` words) and
+   the program header (entry DCS).
+
+:func:`~repro.toolchain.embed.embed_program` runs all three phases and
+returns an :class:`~repro.toolchain.embed.EmbeddedProgram`.
+"""
+
+from repro.toolchain.segment import (
+    SegmentationError,
+    plan_blocks,
+    insert_signatures,
+    MAX_BLOCK_INSNS,
+)
+from repro.toolchain.embed import (
+    embed_program,
+    verify_embedding,
+    EmbeddedProgram,
+    BlockInfo,
+    EmbedError,
+    scan_hardware_blocks,
+)
+
+__all__ = [
+    "SegmentationError",
+    "plan_blocks",
+    "insert_signatures",
+    "MAX_BLOCK_INSNS",
+    "embed_program",
+    "verify_embedding",
+    "EmbeddedProgram",
+    "BlockInfo",
+    "EmbedError",
+    "scan_hardware_blocks",
+]

@@ -1,0 +1,216 @@
+"""Phase 1: IR-level basic-block segmentation and Signature insertion.
+
+Works on the assembler IR (statement lists), before any addresses exist.
+Identifies basic blocks, validates delay-slot discipline, and inserts
+Signature instructions where needed:
+
+* a ``sig`` with its T bit **set** terminates every block that does not
+  end in a branch(+delay slot) or ``halt`` - fall-through boundaries at
+  branch-target labels, and splits of blocks that exceed the maximum
+  block size (the paper requires "a fixed limit on the size of basic
+  blocks" to bound detection latency);
+* a ``sig`` with its T bit **clear** is pure payload capacity, inserted
+  immediately before the terminal branch of blocks whose unused
+  instruction bits cannot hold their successor DCSs (paper Fig. 2).
+"""
+
+from repro.asm.ir import Insn, Label, Directive, Imm, clone_statements
+from repro.argus.payload import payload_capacity, payload_fields
+from repro.argus.shs import SHS_BITS
+from repro.isa.opcodes import Op
+
+#: Default bound on basic-block size (instructions, incl. delay slot).
+MAX_BLOCK_INSNS = 24
+
+_BRANCH_MNEMONICS = {
+    "j": "jump",
+    "jal": "call",
+    "bf": "cond",
+    "bnf": "cond",
+    "jr": "indirect",
+    "jalr": "indirect_call",
+}
+
+_MNEMONIC_OP = {
+    "j": Op.J, "jal": Op.JAL, "bf": Op.BF, "bnf": Op.BNF,
+    "jr": Op.JR, "jalr": Op.JALR, "halt": Op.HALT, "nop": Op.NOP,
+    "sig": Op.SIG, "movhi": Op.MOVHI,
+    "lwz": Op.LWZ, "lhz": Op.LHZ, "lhs": Op.LHS, "lbz": Op.LBZ, "lbs": Op.LBS,
+    "sw": Op.SW, "sh": Op.SH, "sb": Op.SB,
+    "addi": Op.ADDI, "andi": Op.ANDI, "ori": Op.ORI, "xori": Op.XORI,
+    "slli": Op.SLLI, "srli": Op.SRLI, "srai": Op.SRAI,
+    "add": Op.ADD, "sub": Op.SUB, "and": Op.AND, "or": Op.OR, "xor": Op.XOR,
+    "sll": Op.SLL, "srl": Op.SRL, "sra": Op.SRA,
+    "mul": Op.MUL, "mulu": Op.MULU, "div": Op.DIV, "divu": Op.DIVU,
+    "exths": Op.EXTHS, "extbs": Op.EXTBS, "exthz": Op.EXTHZ, "extbz": Op.EXTBZ,
+}
+
+
+class SegmentationError(ValueError):
+    """Raised for IR that cannot be segmented into legal Argus blocks."""
+
+
+def _mnemonic_to_op(mnemonic, line):
+    if mnemonic in _MNEMONIC_OP:
+        return _MNEMONIC_OP[mnemonic]
+    if mnemonic.startswith("sf"):
+        return Op.SFI if mnemonic.endswith("i") else Op.SF
+    raise SegmentationError("line %d: unknown mnemonic %r" % (line, mnemonic))
+
+
+class BlockPlan:
+    """One planned basic block: statement indices and terminal info."""
+
+    __slots__ = ("insn_indices", "kind", "needs_terminator_sig", "needs_capacity_sig")
+
+    def __init__(self, insn_indices, kind, needs_terminator_sig):
+        self.insn_indices = insn_indices
+        self.kind = kind
+        self.needs_terminator_sig = needs_terminator_sig
+        self.needs_capacity_sig = False
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return "<BlockPlan %s n=%d T=%s cap=%s>" % (
+            self.kind, len(self.insn_indices),
+            self.needs_terminator_sig, self.needs_capacity_sig,
+        )
+
+
+def _text_items(stmts):
+    """(stmt_index, Insn, has_label_before) for the text section, in order."""
+    items = []
+    section = "text"
+    pending_label = False
+    for index, stmt in enumerate(stmts):
+        if isinstance(stmt, Directive):
+            if stmt.name in ("text", "data"):
+                section = stmt.name
+            continue
+        if isinstance(stmt, Label):
+            if section == "text":
+                pending_label = True
+            continue
+        if isinstance(stmt, Insn) and section == "text":
+            items.append((index, stmt, pending_label))
+            pending_label = False
+    return items
+
+
+def plan_blocks(stmts, max_block=MAX_BLOCK_INSNS):
+    """Segment the IR into :class:`BlockPlan` objects (no mutation).
+
+    Enforces the delay-slot discipline: every branch must be followed by
+    a non-branch, unlabelled delay-slot instruction; code must not fall
+    off the end of the text section; source may not contain explicit
+    ``sig`` instructions (they are a toolchain artifact).
+    """
+    items = _text_items(stmts)
+    if not items:
+        raise SegmentationError("program has no text section instructions")
+    plans = []
+    current = []
+    pending_delay = False
+    current_kind = None
+
+    def close(kind, needs_terminator):
+        plans.append(BlockPlan(list(current), kind, needs_terminator))
+        current.clear()
+
+    for position, (index, insn, has_label) in enumerate(items):
+        mnemonic = insn.mnemonic
+        if mnemonic == "sig":
+            raise SegmentationError(
+                "line %d: explicit sig instructions are reserved for the embedder"
+                % insn.line
+            )
+        if pending_delay:
+            if has_label:
+                raise SegmentationError(
+                    "line %d: label on a delay-slot instruction" % insn.line
+                )
+            if mnemonic in _BRANCH_MNEMONICS or mnemonic == "halt":
+                raise SegmentationError(
+                    "line %d: branch or halt in a delay slot" % insn.line
+                )
+            current.append(index)
+            pending_delay = False
+            close(current_kind, needs_terminator=False)
+            current_kind = None
+            continue
+        if has_label and current:
+            # Fall-through boundary: close the running block first.
+            close("fallthrough", needs_terminator=True)
+        current.append(index)
+        if mnemonic in _BRANCH_MNEMONICS:
+            pending_delay = True
+            current_kind = _BRANCH_MNEMONICS[mnemonic]
+            continue
+        if mnemonic == "halt":
+            close("halt", needs_terminator=False)
+            continue
+        if len(current) >= max_block:
+            # Size split; the next instruction starts a new block.
+            close("fallthrough", needs_terminator=True)
+    if pending_delay:
+        raise SegmentationError("text section ends inside a delay slot")
+    if current:
+        raise SegmentationError(
+            "control falls off the end of the text section (add halt or a branch)"
+        )
+
+    # Capacity analysis: can the block's unused bits hold its payload?
+    for plan in plans:
+        needed = SHS_BITS * len(payload_fields(plan.kind))
+        capacity = 0
+        for index in plan.insn_indices:
+            insn = stmts[index]
+            capacity += payload_capacity(_mnemonic_to_op(insn.mnemonic, insn.line))
+        if plan.needs_terminator_sig:
+            capacity += payload_capacity(Op.SIG)
+        plan.needs_capacity_sig = capacity < needed
+    return plans
+
+
+def insert_signatures(stmts, max_block=MAX_BLOCK_INSNS, force_nops=False):
+    """Phase 1: return a new statement list with Signature insns inserted.
+
+    Also returns counts ``(terminator_sigs, capacity_sigs)`` for the
+    static-overhead statistics of Figure 5.
+
+    ``force_nops=True`` models the naive embedding the paper argues
+    against (Sec. 3.2.2): every block carries an explicit Signature
+    instruction instead of reusing unused instruction bits, which is the
+    ablation baseline for the unused-bit optimization.
+    """
+    stmts = clone_statements(stmts)
+    plans = plan_blocks(stmts, max_block=max_block)
+    if force_nops:
+        for plan in plans:
+            if payload_fields(plan.kind) and not plan.needs_terminator_sig:
+                plan.needs_capacity_sig = True
+
+    # Collect insertions as (stmt_index, insert_before, sig_stmt); applying
+    # them back-to-front keeps earlier indices valid.
+    insertions = []
+    terminator_sigs = 0
+    capacity_sigs = 0
+    for plan in plans:
+        if plan.needs_capacity_sig:
+            # Before the terminal branch (second-to-last real instruction
+            # counts back past the delay slot); for branchless kinds this
+            # cannot happen because the terminator sig provides capacity.
+            terminal_index = plan.insn_indices[-2] if plan.kind not in (
+                "halt", "fallthrough") else plan.insn_indices[-1]
+            insertions.append((terminal_index, True, Insn("sig", ())))
+            capacity_sigs += 1
+        if plan.needs_terminator_sig:
+            last_index = plan.insn_indices[-1]
+            insertions.append((last_index, False, Insn("sig", (Imm(1),))))
+            terminator_sigs += 1
+
+    # Apply at descending positions so earlier indices stay valid.
+    insertions.sort(key=lambda t: t[0] + (0 if t[1] else 1), reverse=True)
+    for stmt_index, before, sig in insertions:
+        position = stmt_index if before else stmt_index + 1
+        stmts.insert(position, sig)
+    return stmts, terminator_sigs, capacity_sigs

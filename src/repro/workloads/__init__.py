@@ -1,0 +1,42 @@
+"""The MediaBench-like workload suite (paper Sec. 4.4, Figures 5-7).
+
+Thirteen kernels named after the MediaBench [12] programs the paper runs,
+each re-expressed as that benchmark's dominant kernel over synthetic
+data (see DESIGN.md).  ``WORKLOADS`` maps name -> :class:`Workload`;
+:mod:`repro.workloads.runner` measures the base-vs-Argus overheads.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.adpcm import ADPCM_DEC, ADPCM_ENC
+from repro.workloads.epic import EPIC
+from repro.workloads.g721 import G721_DEC, G721_ENC
+from repro.workloads.gs import GS
+from repro.workloads.gsm import GSM
+from repro.workloads.jpeg import JPEG_DEC, JPEG_ENC
+from repro.workloads.mesa import MESA
+from repro.workloads.mpeg2 import MPEG2
+from repro.workloads.pegwit import PEGWIT
+from repro.workloads.rasta import RASTA
+
+ALL_WORKLOADS = (
+    ADPCM_ENC,
+    ADPCM_DEC,
+    EPIC,
+    G721_ENC,
+    G721_DEC,
+    GS,
+    GSM,
+    JPEG_ENC,
+    JPEG_DEC,
+    MESA,
+    MPEG2,
+    PEGWIT,
+    RASTA,
+)
+
+WORKLOADS = {wl.name: wl for wl in ALL_WORKLOADS}
+
+__all__ = ["Workload", "WORKLOADS", "ALL_WORKLOADS"] + [
+    "ADPCM_ENC", "ADPCM_DEC", "EPIC", "G721_ENC", "G721_DEC", "GS", "GSM",
+    "JPEG_ENC", "JPEG_DEC", "MESA", "MPEG2", "PEGWIT", "RASTA",
+]

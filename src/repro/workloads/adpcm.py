@@ -1,0 +1,241 @@
+"""MediaBench ``adpcm``: IMA ADPCM speech codec kernels.
+
+The encoder quantizes 16-bit PCM samples to 4-bit deltas against an
+adaptive predictor; the decoder reconstructs.  Both follow the reference
+``adpcm_coder``/``adpcm_decoder`` structure: a step-size table lookup, a
+3-stage successive-approximation loop (unrolled, as in the C original),
+predictor clamping and index clamping.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.gen import data_words, word_directive
+
+_STEP_TABLE = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+    41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+    190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+    724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894,
+    6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289,
+    16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+]
+_INDEX_TABLE = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8]
+
+NUM_SAMPLES = 1536
+
+_COMMON_DATA = """
+        .data
+samples:
+%(samples)s
+steptable:
+%(steps)s
+indextable:
+%(indexes)s
+outbuf: .space %(outbytes)d
+result: .word 0
+"""
+
+
+def _data_section(outbytes):
+    return _COMMON_DATA % {
+        "samples": word_directive(data_words(0xADB, NUM_SAMPLES)),
+        "steps": word_directive(_STEP_TABLE),
+        "indexes": word_directive(_INDEX_TABLE),
+        "outbytes": outbytes,
+    }
+
+
+_ENCODER_TEXT = """
+        .text
+start:  la   r12, steptable
+        la   r13, indextable
+        la   r2, samples
+        la   r3, outbuf
+        li   r4, %(count)d
+        li   r10, 0              # predicted sample
+        li   r11, 0              # step index
+        li   r17, 0              # output checksum
+
+enc_loop:
+        lwz  r5, 0(r2)           # input sample (stored as words)
+        addi r2, r2, 4
+        sub  r6, r5, r10         # diff = sample - predicted
+        li   r14, 0
+        sfgesi r6, 0
+        bf   enc_pos
+        nop
+        li   r14, 8              # sign bit
+        sub  r6, r0, r6
+enc_pos:
+        slli r15, r11, 2         # step = steptable[index]
+        add  r15, r15, r12
+        lwz  r7, 0(r15)
+        li   r8, 0               # delta
+        srli r16, r7, 3          # vpdiff = step >> 3
+        sfges r6, r7             # successive approximation, bit 2
+        bnf  enc_b1
+        nop
+        ori  r8, r8, 4
+        sub  r6, r6, r7
+        add  r16, r16, r7
+enc_b1: srli r7, r7, 1           # bit 1
+        sfges r6, r7
+        bnf  enc_b2
+        nop
+        ori  r8, r8, 2
+        sub  r6, r6, r7
+        add  r16, r16, r7
+enc_b2: srli r7, r7, 1           # bit 0
+        sfges r6, r7
+        bnf  enc_b3
+        nop
+        ori  r8, r8, 1
+        add  r16, r16, r7
+enc_b3: sfnei r14, 0             # predicted +/- vpdiff
+        bnf  enc_add
+        nop
+        sub  r10, r10, r16
+        j    enc_clamp
+        nop
+enc_add:
+        add  r10, r10, r16
+enc_clamp:
+        li   r15, 32767          # clamp predictor to 16-bit range
+        sfgts r10, r15
+        bnf  enc_c1
+        nop
+        mov  r10, r15
+enc_c1: li   r15, -32768
+        sflts r10, r15
+        bnf  enc_c2
+        nop
+        mov  r10, r15
+enc_c2: or   r8, r8, r14         # delta |= sign
+        slli r15, r8, 2          # index += indextable[delta]
+        add  r15, r15, r13
+        lwz  r15, 0(r15)
+        add  r11, r11, r15
+        sfgesi r11, 0
+        bf   enc_i1
+        nop
+        li   r11, 0
+enc_i1: li   r15, 88
+        sfgts r11, r15
+        bnf  enc_i2
+        nop
+        mov  r11, r15
+enc_i2: sb   r8, 0(r3)           # emit 4-bit code (one per byte here)
+        addi r3, r3, 1
+        slli r15, r17, 5         # checksum: rotate-xor fold
+        srli r17, r17, 27
+        or   r17, r17, r15
+        xor  r17, r17, r8
+        add  r17, r17, r10
+        addi r4, r4, -1
+        sfgtsi r4, 0
+        bf   enc_loop
+        nop
+
+        la   r15, result
+        sw   r17, 0(r15)
+        halt
+""" % {"count": NUM_SAMPLES}
+
+
+_DECODER_TEXT = """
+        .text
+start:  la   r12, steptable
+        la   r13, indextable
+        la   r2, samples         # reuse the random words as delta stream
+        la   r3, outbuf
+        li   r4, %(count)d
+        li   r10, 0              # predicted sample
+        li   r11, 0              # step index
+        li   r17, 0              # checksum
+
+dec_loop:
+        lwz  r5, 0(r2)           # packed pseudo-delta source
+        addi r2, r2, 4
+        andi r8, r5, 15          # 4-bit code
+        slli r15, r11, 2         # step = steptable[index]
+        add  r15, r15, r12
+        lwz  r7, 0(r15)
+        slli r15, r8, 2          # index += indextable[delta]
+        add  r15, r15, r13
+        lwz  r15, 0(r15)
+        add  r11, r11, r15
+        sfgesi r11, 0
+        bf   dec_i1
+        nop
+        li   r11, 0
+dec_i1: li   r15, 88
+        sfgts r11, r15
+        bnf  dec_i2
+        nop
+        mov  r11, r15
+dec_i2: srli r16, r7, 3          # vpdiff = step>>3 (+ conditional adds)
+        andi r15, r8, 4
+        sfnei r15, 0
+        bnf  dec_b1
+        nop
+        add  r16, r16, r7
+dec_b1: srli r7, r7, 1
+        andi r15, r8, 2
+        sfnei r15, 0
+        bnf  dec_b2
+        nop
+        add  r16, r16, r7
+dec_b2: srli r7, r7, 1
+        andi r15, r8, 1
+        sfnei r15, 0
+        bnf  dec_b3
+        nop
+        add  r16, r16, r7
+dec_b3: andi r15, r8, 8          # sign
+        sfnei r15, 0
+        bnf  dec_add
+        nop
+        sub  r10, r10, r16
+        j    dec_clamp
+        nop
+dec_add:
+        add  r10, r10, r16
+dec_clamp:
+        li   r15, 32767
+        sfgts r10, r15
+        bnf  dec_c1
+        nop
+        mov  r10, r15
+dec_c1: li   r15, -32768
+        sflts r10, r15
+        bnf  dec_c2
+        nop
+        mov  r10, r15
+dec_c2: sh   r10, 0(r3)          # emit reconstructed sample
+        addi r3, r3, 2
+        slli r15, r17, 3         # checksum fold
+        srli r17, r17, 29
+        or   r17, r17, r15
+        add  r17, r17, r10
+        addi r4, r4, -1
+        sfgtsi r4, 0
+        bf   dec_loop
+        nop
+
+        la   r15, result
+        sw   r17, 0(r15)
+        halt
+""" % {"count": NUM_SAMPLES}
+
+
+ADPCM_ENC = Workload(
+    name="adpcm_enc",
+    source=_ENCODER_TEXT + _data_section(NUM_SAMPLES),
+    description="IMA ADPCM speech encoder (MediaBench adpcm rawcaudio)",
+)
+
+ADPCM_DEC = Workload(
+    name="adpcm_dec",
+    source=_DECODER_TEXT + _data_section(2 * NUM_SAMPLES),
+    description="IMA ADPCM speech decoder (MediaBench adpcm rawdaudio)",
+)

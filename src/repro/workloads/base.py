@@ -1,0 +1,42 @@
+"""Workload infrastructure for the performance experiments (Figs. 5-7).
+
+Each workload is a self-contained assembly program patterned after a
+MediaBench [12] benchmark (the suite the paper uses; the originals need a
+full C toolchain, so each is re-expressed as the benchmark's core kernel
+over synthetic data - see DESIGN.md's substitution table).  Every
+workload follows the structure that drives the paper's results:
+
+* an initialization prologue of loads/stores/immediates (few unused
+  instruction bits, so Signature instructions get inserted there);
+* register-heavy arithmetic inner loops (plenty of unused bits, so DCSs
+  embed for free);
+* a final checksum stored at the ``result`` label, letting tests verify
+  that the base and the Argus-embedded binaries compute identical
+  results.
+"""
+
+from dataclasses import dataclass
+
+from repro.asm import assemble, parse
+from repro.toolchain import embed_program
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named assembly workload."""
+
+    name: str
+    source: str
+    description: str = ""
+
+    def build_base(self):
+        """Assemble the unprotected binary."""
+        return assemble(parse(self.source))
+
+    def build_embedded(self, **kwargs):
+        """Assemble + run the three-phase Argus embedder."""
+        return embed_program(self.source, **kwargs)
+
+    def result_address(self, program):
+        """Address of the workload's checksum word."""
+        return program.addr_of("result")

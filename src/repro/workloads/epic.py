@@ -1,0 +1,119 @@
+"""MediaBench ``epic``: pyramid image coder kernel.
+
+EPIC's compression core is a separable wavelet (QMF) pyramid: each level
+low-pass/high-pass filters and decimates the signal, then the next level
+recurses on the low band.  This kernel runs a 4-level Haar-style
+analysis over a synthetic image row buffer, quantizes the high bands
+with a shift, and folds everything into a checksum - the add/subtract/
+shift-and-memory-traffic profile of the original.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.gen import data_words, word_directive
+
+SIGNAL = 2048
+LEVELS = 4
+PASSES = 4
+
+_SOURCE = """
+        .text
+start:  li   r4, %(passes)d      # repeated analysis passes
+        li   r17, 0              # checksum
+
+pass_loop:
+        # reload the pristine input into the work buffer
+        la   r2, image
+        la   r3, work
+        li   r6, %(signal)d
+copy_loop:
+        lwz  r7, 0(r2)
+        sw   r7, 0(r3)
+        addi r2, r2, 4
+        addi r3, r3, 4
+        addi r6, r6, -1
+        sfgtsi r6, 0
+        bf   copy_loop
+        nop
+
+        li   r10, %(signal)d     # current level length
+        li   r11, %(levels)d     # level counter
+        la   r20, work           # ping-pong: source buffer
+        la   r21, work2          # ping-pong: destination buffer
+
+level_loop:
+        srli r10, r10, 1         # half length
+        mov  r2, r20             # source pairs
+        mov  r3, r21             # low band at destination start
+        slli r12, r10, 2
+        add  r13, r21, r12       # high band after the low band
+        mov  r6, r10
+qmf_loop:
+        lwz  r7, 0(r2)           # even sample
+        lwz  r8, 4(r2)           # odd sample
+        add  r15, r7, r8         # low  = (e + o) >> 1
+        srai r15, r15, 1
+        sub  r16, r7, r8         # high = (e - o) >> 1
+        srai r16, r16, 1
+        sw   r15, 0(r3)
+        srai r16, r16, 2         # quantize the high band
+        sw   r16, 0(r13)
+        xor  r17, r17, r16       # fold quantized coefficients
+        addi r2, r2, 8
+        addi r3, r3, 4
+        addi r13, r13, 4
+        addi r6, r6, -1
+        sfgtsi r6, 0
+        bf   qmf_loop
+        nop
+
+        mov  r15, r20            # swap ping-pong buffers
+        mov  r20, r21
+        mov  r21, r15
+        addi r11, r11, -1
+        sfgtsi r11, 0
+        bf   level_loop
+        nop
+
+        # fold the final low band (the pyramid apex lives in r20 now)
+        mov  r2, r20
+        mov  r6, r10
+apex_loop:
+        lwz  r7, 0(r2)
+        add  r17, r17, r7
+        slli r15, r17, 1
+        srli r16, r17, 31
+        or   r17, r15, r16
+        addi r2, r2, 4
+        addi r6, r6, -1
+        sfgtsi r6, 0
+        bf   apex_loop
+        nop
+
+        addi r4, r4, -1
+        sfgtsi r4, 0
+        bf   pass_loop
+        nop
+
+        la   r16, result
+        sw   r17, 0(r16)
+        halt
+
+        .data
+image:
+%(image)s
+work:   .space %(work_bytes)d
+work2:  .space %(work_bytes)d
+result: .word 0
+"""
+
+EPIC = Workload(
+    name="epic",
+    source=_SOURCE % {
+        "passes": PASSES,
+        "signal": SIGNAL,
+        "levels": LEVELS,
+        "image": word_directive(data_words(0xE71C, SIGNAL, 0, 255)),
+        "work_bytes": 4 * SIGNAL,
+    },
+    description="EPIC wavelet-pyramid analysis + high-band quantization",
+)

@@ -1,0 +1,198 @@
+"""Structured random-program generation for differential testing.
+
+Generates terminating, delay-slot-correct assembly programs from a seed:
+straight-line arithmetic, sub-word memory traffic, if/else diamonds,
+bounded loops, leaf calls and jump-table dispatch.  Used by the property
+suite to check, over thousands of programs, that
+
+* the embedder never changes architectural results (transparency), and
+* the fully-checked core never false-positives (Appendix B soundness).
+
+Register budget: r10-r25 data, r26 memory base, r27 loop counters,
+r28/r29 scratch, r3 checksum, r9 link (so generated calls stay depth-1).
+"""
+
+import random
+
+DATA_REGS = list(range(10, 26))
+SCRATCH = (28, 29)
+MEM_BASE = 26
+LOOP_REG = 27
+CHECKSUM = 3
+
+_ALU3 = ("add", "sub", "and", "or", "xor", "mul")
+_SHIFTI = ("slli", "srli", "srai")
+_COMPARES = ("sfeq", "sfne", "sfgts", "sfges", "sflts", "sfles",
+             "sfgtu", "sfgeu", "sfltu", "sfleu")
+_LOADS = ("lwz", "lhz", "lhs", "lbz", "lbs")
+_STORES = ("sw", "sh", "sb")
+
+
+class _Gen:
+    def __init__(self, seed, segments):
+        self.rng = random.Random(seed)
+        self.segments = segments
+        self.lines = []
+        self.functions = []
+        self.label_counter = 0
+        self.table_counter = 0
+        self.tables = []  # (table_label, [target labels])
+
+    def label(self, prefix):
+        self.label_counter += 1
+        return "%s_%d" % (prefix, self.label_counter)
+
+    def emit(self, text):
+        self.lines.append("        " + text)
+
+    def emit_label(self, name):
+        self.lines.append("%s:" % name)
+
+    # ---- segments -------------------------------------------------------
+    def seg_arith(self):
+        for _ in range(self.rng.randint(3, 10)):
+            rng = self.rng
+            if rng.random() < 0.25:
+                self.emit("%s r%d, r%d, %d" % (
+                    rng.choice(_SHIFTI), rng.choice(DATA_REGS),
+                    rng.choice(DATA_REGS), rng.randint(0, 31)))
+            elif rng.random() < 0.2:
+                op = rng.choice(("exths", "extbs", "exthz", "extbz"))
+                self.emit("%s r%d, r%d" % (op, rng.choice(DATA_REGS),
+                                           rng.choice(DATA_REGS)))
+            else:
+                self.emit("%s r%d, r%d, r%d" % (
+                    rng.choice(_ALU3), rng.choice(DATA_REGS),
+                    rng.choice(DATA_REGS), rng.choice(DATA_REGS)))
+
+    def seg_divide(self):
+        rng = self.rng
+        # Unsigned divide with a guaranteed-interesting divisor mix
+        # (zero divisors are architecturally defined, so allowed).
+        self.emit("divu r%d, r%d, r%d" % (
+            rng.choice(DATA_REGS), rng.choice(DATA_REGS),
+            rng.choice(DATA_REGS)))
+
+    def seg_memory(self):
+        rng = self.rng
+        offset = 4 * rng.randint(0, 15)
+        store = rng.choice(_STORES)
+        sub_offset = offset + (rng.randint(0, 3) if store == "sb"
+                               else rng.choice((0, 2)) if store == "sh" else 0)
+        self.emit("%s r%d, %d(r%d)" % (store, rng.choice(DATA_REGS),
+                                       sub_offset, MEM_BASE))
+        load = rng.choice(_LOADS)
+        align = {"lwz": 4, "lhz": 2, "lhs": 2, "lbz": 1, "lbs": 1}[load]
+        self.emit("%s r%d, %d(r%d)" % (
+            load, rng.choice(DATA_REGS),
+            (offset // align) * align, MEM_BASE))
+
+    def seg_diamond(self):
+        rng = self.rng
+        else_label = self.label("else")
+        join_label = self.label("join")
+        self.emit("%s r%d, r%d" % (rng.choice(_COMPARES),
+                                   rng.choice(DATA_REGS),
+                                   rng.choice(DATA_REGS)))
+        self.emit("bnf %s" % else_label)
+        self.emit("nop")
+        self.seg_arith()
+        self.emit("j %s" % join_label)
+        self.emit("nop")
+        self.emit_label(else_label)
+        self.seg_arith()
+        self.emit_label(join_label)
+        self.emit("nop")  # a join block needs at least one instruction
+
+    def seg_loop(self):
+        rng = self.rng
+        head = self.label("loop")
+        self.emit("addi r%d, r0, %d" % (LOOP_REG, rng.randint(1, 4)))
+        self.emit_label(head)
+        self.seg_arith()
+        if rng.random() < 0.5:
+            self.seg_memory()
+        self.emit("addi r%d, r%d, -1" % (LOOP_REG, LOOP_REG))
+        self.emit("sfgtsi r%d, 0" % LOOP_REG)
+        self.emit("bf %s" % head)
+        self.emit("nop")
+
+    def seg_call(self):
+        rng = self.rng
+        name = self.label("fn")
+        body = ["%s:" % name]
+        for _ in range(rng.randint(2, 6)):
+            body.append("        %s r%d, r%d, r%d" % (
+                rng.choice(_ALU3), rng.choice(DATA_REGS),
+                rng.choice(DATA_REGS), rng.choice(DATA_REGS)))
+        body.append("        ret")
+        body.append("        nop")
+        self.functions.append("\n".join(body))
+        self.emit("jal %s" % name)
+        self.emit("nop")
+
+    def seg_jump_table(self):
+        rng = self.rng
+        table = "tab_%d" % self.table_counter
+        self.table_counter += 1
+        targets = [self.label("case") for _ in range(2)]
+        join = self.label("tjoin")
+        self.tables.append((table, targets))
+        self.emit("andi r%d, r%d, 1" % (SCRATCH[0], rng.choice(DATA_REGS)))
+        self.emit("slli r%d, r%d, 2" % (SCRATCH[0], SCRATCH[0]))
+        self.emit("la r%d, %s" % (SCRATCH[1], table))
+        self.emit("add r%d, r%d, r%d" % (SCRATCH[1], SCRATCH[1], SCRATCH[0]))
+        self.emit("lwz r%d, 0(r%d)" % (SCRATCH[1], SCRATCH[1]))
+        self.emit("jr r%d" % SCRATCH[1])
+        self.emit("nop")
+        for i, target in enumerate(targets):
+            self.emit_label(target)
+            self.seg_arith()
+            if i + 1 < len(targets):
+                self.emit("j %s" % join)
+                self.emit("nop")
+        self.emit_label(join)
+        self.emit("nop")
+
+    # ---- assembly --------------------------------------------------------
+    def generate(self):
+        rng = self.rng
+        self.emit_label("start")
+        for reg in DATA_REGS:
+            self.emit("li r%d, %d" % (reg, rng.randint(-30000, 30000)))
+        self.emit("la r%d, buf" % MEM_BASE)
+
+        segment_kinds = (self.seg_arith, self.seg_memory, self.seg_diamond,
+                         self.seg_loop, self.seg_call, self.seg_divide,
+                         self.seg_jump_table)
+        weights = (4, 3, 2, 2, 1, 1, 1)
+        for _ in range(self.segments):
+            rng.choices(segment_kinds, weights=weights)[0]()
+
+        # Fold all data registers into a checksum and store it.
+        self.emit("addi r%d, r0, 0" % CHECKSUM)
+        for reg in DATA_REGS:
+            self.emit("xor r%d, r%d, r%d" % (CHECKSUM, CHECKSUM, reg))
+            self.emit("slli r%d, r%d, 1" % (SCRATCH[0], CHECKSUM))
+            self.emit("srli r%d, r%d, 31" % (SCRATCH[1], CHECKSUM))
+            self.emit("or r%d, r%d, r%d" % (CHECKSUM, SCRATCH[0], SCRATCH[1]))
+        self.emit("la r%d, result" % SCRATCH[0])
+        self.emit("sw r%d, 0(r%d)" % (CHECKSUM, SCRATCH[0]))
+        self.emit("halt")
+
+        parts = ["        .text"]
+        parts.extend(self.lines)
+        parts.extend(self.functions)
+        parts.append("        .data")
+        parts.append("buf:    .space 256")
+        parts.append("result: .word 0")
+        for table, targets in self.tables:
+            parts.append("%s:" % table)
+            for target in targets:
+                parts.append("        .codeptr %s" % target)
+        return "\n".join(parts)
+
+
+def generate_program(seed, segments=6):
+    """Random, terminating, delay-slot-correct assembly source."""
+    return _Gen(seed, segments).generate()

@@ -1,0 +1,238 @@
+"""MediaBench ``g721``: CCITT G.721 ADPCM transcoder kernels.
+
+The G.721 codec is built around an adaptive pole/zero predictor: each
+sample's estimate is a fixed-point weighted sum of two past
+reconstructed samples (poles a1/a2) and six past quantized differences
+(zeros b1..b6), followed by sign-magnitude quantization and leaky
+coefficient adaptation.  This is the multiply-heavy cousin of the IMA
+kernel and exercises the multiplier sub-checker path hard.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.gen import data_words, word_directive
+
+NUM_SAMPLES = 1024
+
+_PREDICT_BODY = """
+        # prediction: (a1*s1 + a2*s2 + b1*d1 + b2*d2 + b3*d3) >> 14
+        mul  r15, r20, r25       # a1 * s1
+        mul  r16, r21, r26       # a2 * s2
+        add  r15, r15, r16
+        mul  r16, r22, r27       # b1 * d1
+        add  r15, r15, r16
+        mul  r16, r23, r28       # b2 * d2
+        add  r15, r15, r16
+        mul  r16, r24, r29       # b3 * d3
+        add  r15, r15, r16
+        srai r15, r15, 14        # fixed-point scale
+"""
+
+_ADAPT_BODY = """
+        # leaky adaptation of the predictor coefficients
+        srai r16, r20, 8         # a1 -= a1>>8 (leak)
+        sub  r20, r20, r16
+        srai r16, r21, 8
+        sub  r21, r21, r16
+        sfgesi r6, 0             # a1 += sign(diff)*32
+        bnf  %(label)s_neg
+        addi r16, r0, 32
+        add  r20, r20, r16
+        j    %(label)s_done
+        srai r16, r22, 7
+%(label)s_neg:
+        sub  r20, r20, r16
+        srai r16, r22, 7
+%(label)s_done:
+        sub  r22, r22, r16       # b1 leak
+        srai r16, r23, 7
+        sub  r23, r23, r16
+        srai r16, r24, 7
+        sub  r24, r24, r16
+        add  r22, r22, r6        # zeros track the difference signal
+        srai r16, r6, 1
+        add  r23, r23, r16
+        srai r16, r6, 2
+        add  r24, r24, r16
+"""
+
+_ENCODER_TEXT = """
+        .text
+start:  la   r2, samples
+        la   r3, outbuf
+        li   r4, %(count)d
+        li   r17, 0              # checksum
+        li   r20, 8192           # a1 (Q14 ~ 0.5)
+        li   r21, -4096          # a2
+        li   r22, 1024           # b1
+        li   r23, 512            # b2
+        li   r24, 256            # b3
+        li   r25, 0              # s1 (past reconstructed)
+        li   r26, 0              # s2
+        li   r27, 0              # d1 (past quantized diffs)
+        li   r28, 0              # d2
+        li   r29, 0              # d3
+
+enc_loop:
+        lwz  r5, 0(r2)
+        addi r2, r2, 4
+%(predict)s
+        sub  r6, r5, r15         # diff = sample - estimate
+
+        # log-ish quantizer: 4-bit code from magnitude thresholds
+        li   r8, 0
+        sfgesi r6, 0
+        bf   qpos
+        mov  r7, r6
+        li   r8, 8
+        sub  r7, r0, r6
+qpos:   li   r16, 2048
+        sfges r7, r16
+        bnf  q1
+        nop
+        ori  r8, r8, 4
+q1:     andi r16, r8, 4
+        sfnei r16, 0
+        bnf  q2a
+        nop
+        srai r7, r7, 4           # fold high range down
+q2a:    li   r16, 512
+        sfges r7, r16
+        bnf  q2
+        nop
+        ori  r8, r8, 2
+q2:     li   r16, 128
+        sfges r7, r16
+        bnf  q3
+        nop
+        ori  r8, r8, 1
+q3:
+        # inverse quantize to get dq, reconstruct (r15 still holds the
+        # estimate, so the sign test uses a scratch register)
+        andi r16, r8, 7
+        slli r16, r16, 7         # dq magnitude ~ code<<7
+        andi r14, r8, 8
+        sfnei r14, 0
+        bnf  recon_pos
+        nop
+        sub  r16, r0, r16
+recon_pos:
+        mov  r6, r16             # quantized difference
+        mov  r26, r25            # shift predictor state: s2 <- s1
+        add  r25, r15, r6        # s1 = estimate + dq  (r15 still holds est)
+%(adapt)s
+        mov  r29, r28            # d3 <- d2
+        mov  r28, r27            # d2 <- d1
+        mov  r27, r6             # d1 = dq
+
+        sb   r8, 0(r3)
+        addi r3, r3, 1
+        slli r16, r17, 5         # rotate-xor checksum
+        srli r17, r17, 27
+        or   r17, r17, r16
+        xor  r17, r17, r8
+        add  r17, r17, r25
+        addi r4, r4, -1
+        sfgtsi r4, 0
+        bf   enc_loop
+        nop
+
+        la   r16, result
+        sw   r17, 0(r16)
+        halt
+"""
+
+_DECODER_TEXT = """
+        .text
+start:  la   r2, samples         # treat data as the 4-bit code stream
+        la   r3, outbuf
+        li   r4, %(count)d
+        li   r17, 0
+        li   r20, 8192
+        li   r21, -4096
+        li   r22, 1024
+        li   r23, 512
+        li   r24, 256
+        li   r25, 0
+        li   r26, 0
+        li   r27, 0
+        li   r28, 0
+        li   r29, 0
+
+dec_loop:
+        lwz  r8, 0(r2)
+        addi r2, r2, 4
+        andi r8, r8, 15
+%(predict)s
+        andi r16, r8, 7          # inverse quantize
+        slli r16, r16, 7
+        andi r6, r8, 8
+        sfnei r6, 0
+        bnf  dq_pos
+        nop
+        sub  r16, r0, r16
+dq_pos: mov  r6, r16
+        mov  r26, r25
+        add  r25, r15, r6        # reconstructed = estimate + dq
+        li   r16, 32767          # clamp
+        sfgts r25, r16
+        bnf  dc1
+        nop
+        mov  r25, r16
+dc1:    li   r16, -32768
+        sflts r25, r16
+        bnf  dc2
+        nop
+        mov  r25, r16
+dc2:
+%(adapt)s
+        mov  r29, r28
+        mov  r28, r27
+        mov  r27, r6
+
+        sh   r25, 0(r3)
+        addi r3, r3, 2
+        slli r16, r17, 3
+        srli r17, r17, 29
+        or   r17, r17, r16
+        add  r17, r17, r25
+        addi r4, r4, -1
+        sfgtsi r4, 0
+        bf   dec_loop
+        nop
+
+        la   r16, result
+        sw   r17, 0(r16)
+        halt
+"""
+
+_DATA = """
+        .data
+samples:
+%(samples)s
+outbuf: .space %(outbytes)d
+result: .word 0
+"""
+
+
+def _source(text_template, label, outbytes):
+    return text_template % {
+        "count": NUM_SAMPLES,
+        "predict": _PREDICT_BODY,
+        "adapt": _ADAPT_BODY % {"label": label},
+    } + _DATA % {
+        "samples": word_directive(data_words(0x6721, NUM_SAMPLES)),
+        "outbytes": outbytes,
+    }
+
+
+G721_ENC = Workload(
+    name="g721_enc",
+    source=_source(_ENCODER_TEXT, "ea", NUM_SAMPLES),
+    description="G.721 ADPCM encoder with adaptive pole/zero predictor",
+)
+
+G721_DEC = Workload(
+    name="g721_dec",
+    source=_source(_DECODER_TEXT, "da", 2 * NUM_SAMPLES),
+    description="G.721 ADPCM decoder with adaptive pole/zero predictor",
+)

@@ -1,0 +1,33 @@
+"""Synthetic-data and code-generation helpers for the workload suite.
+
+MediaBench inputs (speech samples, images, video macroblocks, plaintext)
+are unavailable offline, so each kernel runs on pseudo-random data from a
+fixed per-workload seed - deterministic across runs and identical for
+the base and embedded binaries, which is all Figures 5-7 require.
+"""
+
+import random
+
+
+def data_words(seed, count, lo=-32768, hi=32767):
+    """``count`` deterministic values in [lo, hi] as a ``.word`` list."""
+    rng = random.Random(seed)
+    return [rng.randint(lo, hi) for _ in range(count)]
+
+
+def word_directive(values, per_line=8):
+    """Format values as ``.word`` directives."""
+    lines = []
+    for i in range(0, len(values), per_line):
+        chunk = ", ".join(str(v) for v in values[i:i + per_line])
+        lines.append("        .word %s" % chunk)
+    return "\n".join(lines)
+
+
+def byte_directive(values, per_line=16):
+    """Format values (0..255) as ``.byte`` directives."""
+    lines = []
+    for i in range(0, len(values), per_line):
+        chunk = ", ".join(str(v & 0xFF) for v in values[i:i + per_line])
+        lines.append("        .byte %s" % chunk)
+    return "\n".join(lines)

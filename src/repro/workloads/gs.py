@@ -1,0 +1,133 @@
+"""MediaBench ``gs`` (Ghostscript): scan-line polygon rasterization.
+
+Ghostscript's rendering core spends its time filling paths: for each
+scan line, intersect the active edges, sort the crossings, and fill the
+spans into the page raster.  This kernel rasterizes a batch of triangles
+with fixed-point edge walking (the classic DDA), span filling with byte
+stores, and a coverage checksum - branchy, store-heavy integer code,
+unlike the DSP-flavoured kernels.
+"""
+
+import random
+
+from repro.workloads.base import Workload
+from repro.workloads.gen import word_directive
+
+WIDTH = 64
+HEIGHT = 48
+NUM_TRIANGLES = 28
+
+
+def _triangles(seed):
+    rng = random.Random(seed)
+    values = []
+    for _ in range(NUM_TRIANGLES):
+        ys = sorted(rng.randrange(0, HEIGHT) for _ in range(2))
+        y0, y1 = ys[0], max(ys[1], ys[0] + 1)
+        x0 = rng.randrange(0, WIDTH // 2)
+        x1 = rng.randrange(WIDTH // 2, WIDTH)
+        # Edge slopes in Q8 fixed point.
+        slope_l = rng.randrange(-128, 128)
+        slope_r = rng.randrange(-128, 128)
+        values.extend([y0, y1, x0 << 8, x1 << 8, slope_l, slope_r])
+    return values
+
+
+_SOURCE = """
+        .text
+start:  la   r2, tris            # triangle records (6 words each)
+        li   r4, %(ntris)d
+        li   r17, 0              # coverage checksum
+
+tri_loop:
+        lwz  r10, 0(r2)          # y0
+        lwz  r11, 4(r2)          # y1
+        lwz  r12, 8(r2)          # left edge x, Q8
+        lwz  r13, 12(r2)         # right edge x, Q8
+        lwz  r14, 16(r2)         # left slope, Q8
+        lwz  r15, 20(r2)         # right slope, Q8
+        addi r2, r2, 24
+
+scan_loop:
+        sfges r10, r11           # while y0 < y1
+        bf   tri_done
+        nop
+        srai r5, r12, 8          # left pixel
+        srai r6, r13, 8          # right pixel
+        sfges r5, r6             # empty span?
+        bf   next_line
+        nop
+        # clamp the span to the raster
+        sfgesi r5, 0
+        bf   clamp_l
+        nop
+        li   r5, 0
+clamp_l:
+        li   r7, %(width)d
+        sflts r6, r7
+        bf   clamp_r
+        nop
+        addi r6, r7, -1
+clamp_r:
+        # row base = raster + y0*WIDTH
+        li   r7, %(width)d
+        mul  r8, r10, r7
+        la   r7, raster
+        add  r8, r8, r7
+        add  r7, r8, r5          # span start address
+        sub  r16, r6, r5         # span length - 1
+span_loop:
+        lbz  r3, 0(r7)           # read-modify-write coverage byte
+        addi r3, r3, 1
+        andi r3, r3, 255
+        sb   r3, 0(r7)
+        xor  r17, r17, r3
+        slli r3, r17, 1
+        srli r18, r17, 31
+        or   r17, r3, r18
+        addi r7, r7, 1
+        addi r16, r16, -1
+        sfgesi r16, 0
+        bf   span_loop
+        nop
+next_line:
+        add  r12, r12, r14       # step the edges
+        add  r13, r13, r15
+        addi r10, r10, 1
+        j    scan_loop
+        nop
+
+tri_done:
+        addi r4, r4, -1
+        sfgtsi r4, 0
+        bf   tri_loop
+        nop
+
+        # fold the raster corners into the checksum and finish
+        la   r7, raster
+        lbz  r5, 0(r7)
+        add  r17, r17, r5
+        lbz  r5, %(last)d(r7)
+        xor  r17, r17, r5
+        la   r16, result
+        sw   r17, 0(r16)
+        halt
+
+        .data
+tris:
+%(tris)s
+raster: .space %(raster_bytes)d
+result: .word 0
+"""
+
+GS = Workload(
+    name="gs",
+    source=_SOURCE % {
+        "ntris": NUM_TRIANGLES,
+        "width": WIDTH,
+        "last": WIDTH * HEIGHT - 1,
+        "tris": word_directive(_triangles(0x65)),
+        "raster_bytes": WIDTH * HEIGHT,
+    },
+    description="Ghostscript-style scan-line triangle rasterizer",
+)

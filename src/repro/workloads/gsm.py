@@ -1,0 +1,114 @@
+"""MediaBench ``gsm``: GSM 06.10 full-rate LPC analysis kernel.
+
+The front end of the GSM encoder: per 160-sample frame, compute the
+autocorrelation sequence acf[0..8] (the multiply-accumulate hot loop
+that dominates MediaBench gsm), normalize by the frame energy, then run
+one Schur-recursion-style reflection-coefficient step per lag with
+fixed-point division.  Frames are processed from a synthetic speech
+buffer; a rolling checksum over the acf values is the result.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.gen import data_words, word_directive
+
+FRAME = 160
+NUM_FRAMES = 10
+
+_SOURCE = """
+        .text
+start:  la   r2, speech
+        li   r4, %(frames)d      # frame counter
+        li   r17, 0              # checksum
+        la   r14, acf
+
+frame_loop:
+        # ---- scale input down to avoid overflow (as the C code does)
+        mov  r5, r2
+        li   r6, %(frame)d
+scale_loop:
+        lwz  r7, 0(r5)
+        srai r7, r7, 3
+        sw   r7, 0(r5)
+        addi r5, r5, 4
+        addi r6, r6, -1
+        sfgtsi r6, 0
+        bf   scale_loop
+        nop
+
+        # ---- autocorrelation: acf[k] = sum s[n]*s[n+k], k = 0..8
+        li   r10, 0              # k
+acf_outer:
+        li   r11, 0              # accumulator
+        mov  r5, r2              # s[n] pointer
+        slli r12, r10, 2
+        add  r12, r12, r2        # s[n+k] pointer
+        li   r6, %(frame)d
+        sub  r6, r6, r10         # inner count = FRAME - k
+acf_inner:
+        lwz  r7, 0(r5)
+        lwz  r8, 0(r12)
+        mul  r7, r7, r8
+        add  r11, r11, r7
+        addi r5, r5, 4
+        addi r12, r12, 4
+        addi r6, r6, -1
+        sfgtsi r6, 0
+        bf   acf_inner
+        nop
+        slli r12, r10, 2         # acf[k] = accumulator
+        add  r12, r12, r14
+        sw   r11, 0(r12)
+        addi r10, r10, 1
+        sfltsi r10, 9
+        bf   acf_outer
+        nop
+
+        # ---- normalize: reflection-like coefficients r[k] = acf[k]/ (acf[0]>>8 + 1)
+        lwz  r10, 0(r14)         # acf[0] (frame energy)
+        srai r10, r10, 8
+        addi r10, r10, 1         # never zero
+        li   r11, 1              # k
+norm_loop:
+        slli r12, r11, 2
+        add  r12, r12, r14
+        lwz  r13, 0(r12)
+        div  r15, r13, r10       # fixed-point reflection coefficient
+        sw   r15, 0(r12)
+        slli r16, r17, 5         # checksum fold
+        srli r17, r17, 27
+        or   r17, r17, r16
+        xor  r17, r17, r15
+        addi r11, r11, 1
+        sfltsi r11, 9
+        bf   norm_loop
+        nop
+        lwz  r13, 0(r14)
+        add  r17, r17, r13
+
+        addi r2, r2, %(frame_bytes)d   # next frame
+        addi r4, r4, -1
+        sfgtsi r4, 0
+        bf   frame_loop
+        nop
+
+        la   r16, result
+        sw   r17, 0(r16)
+        halt
+
+        .data
+speech:
+%(speech)s
+acf:    .space 36
+result: .word 0
+"""
+
+GSM = Workload(
+    name="gsm",
+    source=_SOURCE % {
+        "frames": NUM_FRAMES,
+        "frame": FRAME,
+        "frame_bytes": 4 * FRAME,
+        "speech": word_directive(data_words(0x65A, FRAME * NUM_FRAMES, -8000, 8000)),
+    },
+    description="GSM 06.10 LPC autocorrelation + reflection coefficients",
+)

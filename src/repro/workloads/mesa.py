@@ -1,0 +1,146 @@
+"""MediaBench ``mesa``: 3-D geometry pipeline kernel.
+
+Mesa's software pipeline transforms vertex batches through a 4x4
+model-view-projection matrix, performs the perspective divide, and
+clamps to the viewport - a multiply/divide-dense float pipeline that
+maps naturally onto Q16 fixed point on an FPU-less core like the OR1200
+(which is exactly how embedded GL implementations run it).
+"""
+
+import random
+
+from repro.workloads.base import Workload
+from repro.workloads.gen import word_directive
+
+NUM_VERTICES = 640
+
+# A plausible Q12 MVP matrix (rotation-ish rows plus translation).
+_MATRIX = [
+    3547, -1024, 512, 40960,
+    896, 3801, -640, 20480,
+    -384, 720, 3960, 81920,
+    0, 0, 64, 4096,
+]
+
+
+def _vertices(seed):
+    rng = random.Random(seed)
+    values = []
+    for _ in range(NUM_VERTICES):
+        values.extend([rng.randint(-2048, 2048) for _ in range(3)])
+    return values
+
+
+_SOURCE = """
+        .text
+start:  la   r2, verts           # x,y,z per vertex (Q0 integers)
+        la   r3, screen
+        la   r13, matrix
+        li   r4, %(nverts)d
+        li   r17, 0
+
+vert_loop:
+        lwz  r5, 0(r2)           # x
+        lwz  r6, 4(r2)           # y
+        lwz  r7, 8(r2)           # z
+        addi r2, r2, 12
+
+        # row 0: xt = (m00*x + m01*y + m02*z + m03) >> 12
+        lwz  r8, 0(r13)
+        mul  r10, r8, r5
+        lwz  r8, 4(r13)
+        mul  r11, r8, r6
+        add  r10, r10, r11
+        lwz  r8, 8(r13)
+        mul  r11, r8, r7
+        add  r10, r10, r11
+        lwz  r8, 12(r13)
+        add  r10, r10, r8
+        srai r10, r10, 12        # xt
+
+        # row 1: yt
+        lwz  r8, 16(r13)
+        mul  r11, r8, r5
+        lwz  r8, 20(r13)
+        mul  r12, r8, r6
+        add  r11, r11, r12
+        lwz  r8, 24(r13)
+        mul  r12, r8, r7
+        add  r11, r11, r12
+        lwz  r8, 28(r13)
+        add  r11, r11, r8
+        srai r11, r11, 12        # yt
+
+        # row 3: w (perspective term), kept strictly positive
+        lwz  r8, 56(r13)
+        mul  r12, r8, r7
+        lwz  r8, 60(r13)
+        add  r12, r12, r8
+        srai r12, r12, 12
+        sfgtsi r12, 0
+        bf   w_ok
+        nop
+        li   r12, 1
+w_ok:
+        # perspective divide to viewport coordinates
+        slli r10, r10, 8
+        div  r10, r10, r12       # sx
+        slli r11, r11, 8
+        div  r11, r11, r12       # sy
+
+        # viewport clamp to [0, 1023]
+        sfgesi r10, 0
+        bf   cx0
+        nop
+        li   r10, 0
+cx0:    li   r8, 1023
+        sfgts r10, r8
+        bnf  cx1
+        nop
+        mov  r10, r8
+cx1:    sfgesi r11, 0
+        bf   cy0
+        nop
+        li   r11, 0
+cy0:    sfgts r11, r8
+        bnf  cy1
+        nop
+        mov  r11, r8
+cy1:
+        sh   r10, 0(r3)          # packed screen position
+        sh   r11, 2(r3)
+        addi r3, r3, 4
+        slli r8, r17, 5          # checksum fold
+        srli r17, r17, 27
+        or   r17, r17, r8
+        add  r17, r17, r10
+        xor  r17, r17, r11
+
+        addi r4, r4, -1
+        sfgtsi r4, 0
+        bf   vert_loop
+        nop
+
+        la   r16, result
+        sw   r17, 0(r16)
+        halt
+
+        .data
+matrix:
+%(matrix)s
+verts:
+%(verts)s
+screen: .space %(screen_bytes)d
+result: .word 0
+"""
+
+MESA = Workload(
+    name="mesa",
+    source=_SOURCE % {
+        "nverts": NUM_VERTICES,
+        "matrix": word_directive(_MATRIX),
+        "verts": word_directive(_vertices(0x3D)),
+        "screen_bytes": 4 * NUM_VERTICES,
+    },
+    description="Mesa-style fixed-point vertex transform + perspective divide",
+)

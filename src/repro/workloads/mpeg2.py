@@ -1,0 +1,116 @@
+"""MediaBench ``mpeg2``: MPEG-2 decoder motion-compensation kernel.
+
+The hot path of mpeg2decode: for each 16x16 macroblock, form the
+bidirectional prediction as the rounded average of a forward and a
+backward reference block (``(f + b + 1) >> 1``), add the residual from
+the inverse transform, and saturate to the 0..255 pixel range.  Pixels
+are stored as bytes, so the kernel is dense in sub-word loads/stores -
+the path through the RSSE alignment checker and the read-modify-write
+store merge.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.gen import byte_directive, data_words, word_directive
+
+import random
+
+MACROBLOCKS = 24
+MB_PIXELS = 256  # 16x16
+
+
+def _pixels(seed, count):
+    rng = random.Random(seed)
+    return [rng.randint(0, 255) for _ in range(count)]
+
+
+_SOURCE = """
+        .text
+start:  la   r10, fwd_ref
+        la   r11, bwd_ref
+        la   r12, residual
+        la   r13, frame
+        li   r14, %(mbs)d
+        li   r17, 0
+
+mb_loop:
+        li   r6, %(pixels)d
+pix_loop:
+        lbz  r5, 0(r10)          # forward reference pixel
+        lbz  r7, 0(r11)          # backward reference pixel
+        add  r5, r5, r7
+        addi r5, r5, 1
+        srli r5, r5, 1           # rounded average
+        lwz  r7, 0(r12)          # residual coefficient (word)
+        add  r5, r5, r7
+        sfgesi r5, 0             # saturate to [0, 255]
+        bf   sat_lo
+        nop
+        li   r5, 0
+sat_lo: sfgtsi r5, 255
+        bnf  sat_hi
+        nop
+        li   r5, 255
+sat_hi: sb   r5, 0(r13)          # write the decoded pixel
+        slli r7, r17, 5          # checksum fold
+        srli r17, r17, 27
+        or   r17, r17, r7
+        add  r17, r17, r5
+        addi r10, r10, 1
+        addi r11, r11, 1
+        addi r12, r12, 4
+        addi r13, r13, 1
+        addi r6, r6, -1
+        sfgtsi r6, 0
+        bf   pix_loop
+        nop
+
+        # half-pel interpolation pass over the block just written
+        addi r13, r13, -%(pixels)d
+        li   r6, %(half_count)d
+half_loop:
+        lbz  r5, 0(r13)
+        lbz  r7, 1(r13)
+        add  r5, r5, r7
+        addi r5, r5, 1
+        srli r5, r5, 1
+        sb   r5, 0(r13)
+        xor  r17, r17, r5
+        addi r13, r13, 2
+        addi r6, r6, -1
+        sfgtsi r6, 0
+        bf   half_loop
+        nop
+
+        addi r14, r14, -1
+        sfgtsi r14, 0
+        bf   mb_loop
+        nop
+
+        la   r16, result
+        sw   r17, 0(r16)
+        halt
+
+        .data
+fwd_ref:
+%(fwd)s
+bwd_ref:
+%(bwd)s
+residual:
+%(residual)s
+frame:  .space %(frame_bytes)d
+result: .word 0
+"""
+
+MPEG2 = Workload(
+    name="mpeg2",
+    source=_SOURCE % {
+        "mbs": MACROBLOCKS,
+        "pixels": MB_PIXELS,
+        "half_count": MB_PIXELS // 2,
+        "fwd": byte_directive(_pixels(0x2F0, MB_PIXELS * MACROBLOCKS)),
+        "bwd": byte_directive(_pixels(0x2B0, MB_PIXELS * MACROBLOCKS)),
+        "residual": word_directive(data_words(0x2E5, MB_PIXELS * MACROBLOCKS, -32, 32)),
+        "frame_bytes": MB_PIXELS * MACROBLOCKS,
+    },
+    description="MPEG-2 bidirectional motion compensation + saturation",
+)

@@ -1,0 +1,94 @@
+"""MediaBench ``pegwit``: public-key encryption kernel.
+
+Pegwit's cost is dominated by arithmetic over GF(2^255) and by its
+square hash; both reduce to long chains of shift/XOR/multiply rounds on
+words with almost no memory traffic - the opposite profile of the video
+codecs.  This kernel encrypts a message buffer with an unrolled 16-round
+ARX/carryless-multiply-style mixer per word, matching that profile.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.gen import data_words, word_directive
+
+WORDS = 768
+ROUNDS = 16
+
+_ROUND_CONSTANTS = [
+    0x9E3779B9, 0x3C6EF372, 0xDAA66D2B, 0x78DDE6E4,
+    0x17155A9D, 0xB54CCE56, 0x5384420F, 0xF1BBB5C8,
+    0x8FF32981, 0x2E2A9D3A, 0xCC6210F3, 0x6A9984AC,
+    0x08D0F865, 0xA7086C1E, 0x453FDFD7, 0xE3775390,
+]
+
+
+def _unrolled_rounds():
+    """16 unrolled mix rounds: state in r10/r11, word in r5."""
+    lines = []
+    for i, constant in enumerate(_ROUND_CONSTANTS):
+        hi = (constant >> 16) & 0xFFFF
+        lo = constant & 0xFFFF
+        lines += [
+            "        movhi r7, %d" % hi,
+            "        ori  r7, r7, %d" % lo,
+            "        xor  r5, r5, r7",
+            "        add  r10, r10, r5",
+            "        slli r8, r10, %d" % ((i % 11) + 3),
+            "        srli r7, r10, %d" % (32 - ((i % 11) + 3)),
+            "        or   r10, r8, r7",        # rotate the A lane
+            "        xor  r10, r10, r11",
+            "        mul  r8, r11, r5",        # carryless-ish mix via mul
+            "        add  r11, r11, r8",
+            "        srli r8, r11, %d" % ((i % 7) + 9),
+            "        xor  r11, r11, r8",       # xorshift the B lane
+            "        add  r5, r5, r10",
+        ]
+    return "\n".join(lines)
+
+
+_SOURCE = """
+        .text
+start:  la   r2, message
+        la   r3, cipher
+        li   r4, %(words)d
+        li   r17, 0
+        li   r10, 0x243F6A88     # state lane A (pi)
+        li   r11, 0x85A308D3     # state lane B
+
+word_loop:
+        lwz  r5, 0(r2)
+        addi r2, r2, 4
+%(rounds)s
+        sw   r5, 0(r3)
+        addi r3, r3, 4
+        xor  r17, r17, r5
+        slli r7, r17, 1
+        srli r8, r17, 31
+        or   r17, r7, r8
+        addi r4, r4, -1
+        sfgtsi r4, 0
+        bf   word_loop
+        nop
+
+        add  r17, r17, r10       # fold the final state
+        xor  r17, r17, r11
+        la   r16, result
+        sw   r17, 0(r16)
+        halt
+
+        .data
+message:
+%(message)s
+cipher: .space %(cipher_bytes)d
+result: .word 0
+"""
+
+PEGWIT = Workload(
+    name="pegwit",
+    source=_SOURCE % {
+        "words": WORDS,
+        "rounds": _unrolled_rounds(),
+        "message": word_directive(data_words(0x9E9, WORDS, -2147483648, 2147483647)),
+        "cipher_bytes": 4 * WORDS,
+    },
+    description="Pegwit-style ARX/GF mixer encryption rounds",
+)

@@ -1,0 +1,109 @@
+"""MediaBench ``rasta``: RASTA-PLP speech feature extraction kernel.
+
+RASTA filtering runs each critical-band energy trajectory through an IIR
+band-pass filter, then applies equal-loudness weighting and intensity-
+to-loudness compression.  This kernel filters a bank of 16 bands with a
+fixed-point 5-tap RASTA filter, computes per-frame band energies with
+division-based normalization, and approximates the cube-root compression
+with an iterative Newton step (divide-heavy, as in the original).
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.gen import data_words, word_directive
+
+BANDS = 16
+FRAMES = 96
+
+_SOURCE = """
+        .text
+start:  la   r2, energies        # FRAMES x BANDS energy matrix
+        la   r3, hist            # 4-deep history per band
+        la   r10, output
+        li   r4, %(frames)d
+        li   r17, 0
+
+frame_loop:
+        li   r11, %(bands)d      # band counter
+        mov  r12, r3             # history cursor
+
+band_loop:
+        lwz  r5, 0(r2)           # current band energy x(n)
+        addi r2, r2, 4
+        # RASTA IIR: y = (2*x + x1 - x3 - 2*x4)/10 + 0.94*y1  (Q8)
+        lwz  r6, 0(r12)          # x1
+        lwz  r7, 4(r12)          # x3
+        lwz  r8, 8(r12)          # x4
+        lwz  r13, 12(r12)        # y1
+        slli r15, r5, 1          # 2*x
+        add  r15, r15, r6
+        sub  r15, r15, r7
+        slli r16, r8, 1
+        sub  r15, r15, r16
+        li   r16, 10
+        div  r15, r15, r16       # numerator / 10
+        li   r16, 241            # 0.94 in Q8
+        mul  r13, r13, r16
+        srai r13, r13, 8
+        add  r15, r15, r13       # y(n)
+        sw   r6, 4(r12)          # shift history: x3 <- x1 (approx taps)
+        sw   r5, 0(r12)          # x1 <- x
+        sw   r7, 8(r12)          # x4 <- x3
+        sw   r15, 12(r12)        # y1 <- y
+
+        # equal-loudness weight (band-dependent shift) + loudness
+        sfgesi r15, 0
+        bf   pos
+        nop
+        sub  r15, r0, r15
+pos:    addi r15, r15, 1
+        # cube-root-ish compression: one Newton step t = (2*t + v/(t*t))/3
+        li   r16, 64             # initial guess
+        mul  r13, r16, r16
+        div  r13, r15, r13
+        slli r16, r16, 1
+        add  r16, r16, r13
+        li   r13, 3
+        div  r16, r16, r13
+        sw   r16, 0(r10)
+        addi r10, r10, 4
+
+        slli r13, r17, 5         # checksum fold
+        srli r17, r17, 27
+        or   r17, r17, r13
+        add  r17, r17, r16
+        xor  r17, r17, r15
+
+        addi r12, r12, 16        # next band history
+        addi r11, r11, -1
+        sfgtsi r11, 0
+        bf   band_loop
+        nop
+
+        addi r4, r4, -1
+        sfgtsi r4, 0
+        bf   frame_loop
+        nop
+
+        la   r16, result
+        sw   r17, 0(r16)
+        halt
+
+        .data
+energies:
+%(energies)s
+hist:   .space %(hist_bytes)d
+output: .space %(out_bytes)d
+result: .word 0
+"""
+
+RASTA = Workload(
+    name="rasta",
+    source=_SOURCE % {
+        "frames": FRAMES,
+        "bands": BANDS,
+        "energies": word_directive(data_words(0x7A57A, BANDS * FRAMES, 0, 1 << 20)),
+        "hist_bytes": 16 * BANDS,
+        "out_bytes": 4 * BANDS * FRAMES,
+    },
+    description="RASTA-PLP IIR filter bank + loudness compression",
+)

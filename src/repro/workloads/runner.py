@@ -1,0 +1,92 @@
+"""Base-vs-Argus measurement harness for Figures 5-7.
+
+For each workload, assemble the unprotected binary and the Argus-
+embedded binary, run both on the fast core with the requested cache
+configuration, verify that they compute the same checksum, and report:
+
+* dynamic instruction overhead (Figure 5) and static overhead;
+* runtime (cycle) overhead for 1-way and 2-way I-caches (Figures 6-7).
+"""
+
+from dataclasses import dataclass
+
+from repro.cpu import FastCore
+from repro.mem.hierarchy import MemoryConfig
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One workload's base-vs-embedded comparison."""
+
+    name: str
+    base_instructions: int
+    embedded_instructions: int
+    base_cycles: int
+    embedded_cycles: int
+    base_text_bytes: int
+    embedded_text_bytes: int
+    sig_instructions: int
+    checksum: int
+    icache_ways: int
+    base_icache_misses: int
+    embedded_icache_misses: int
+
+    @property
+    def dynamic_overhead(self):
+        """Figure 5: extra dynamic instructions from embedded Signatures."""
+        return (self.embedded_instructions - self.base_instructions) / self.base_instructions
+
+    @property
+    def static_overhead(self):
+        return (self.embedded_text_bytes - self.base_text_bytes) / self.base_text_bytes
+
+    @property
+    def runtime_overhead(self):
+        """Figures 6-7: cycle-count overhead (can be negative: re-alignment
+        of basic blocks sometimes *reduces* conflict misses, Sec. 4.4)."""
+        return (self.embedded_cycles - self.base_cycles) / self.base_cycles
+
+
+def measure_workload(workload, ways=1, max_instructions=50_000_000):
+    """Measure one workload under an n-way 8KB cache configuration."""
+    config = MemoryConfig.paper(ways=ways)
+    base_prog = workload.build_base()
+    embedded = workload.build_embedded()
+
+    base_core = FastCore(base_prog, mem_config=config)
+    base_res = base_core.run(max_instructions=max_instructions)
+    emb_core = FastCore(embedded.program, mem_config=config)
+    emb_res = emb_core.run(max_instructions=max_instructions)
+
+    base_sum = base_core.load_word(workload.result_address(base_prog))
+    emb_sum = emb_core.load_word(workload.result_address(embedded.program))
+    if base_sum != emb_sum:
+        raise AssertionError(
+            "%s: embedded binary changed the result (0x%x != 0x%x)"
+            % (workload.name, emb_sum, base_sum)
+        )
+
+    return Measurement(
+        name=workload.name,
+        base_instructions=base_res.instructions,
+        embedded_instructions=emb_res.instructions,
+        base_cycles=base_res.cycles,
+        embedded_cycles=emb_res.cycles,
+        base_text_bytes=base_prog.text_size,
+        embedded_text_bytes=embedded.program.text_size,
+        sig_instructions=emb_res.sig_instructions,
+        checksum=base_sum,
+        icache_ways=ways,
+        base_icache_misses=base_res.icache_misses,
+        embedded_icache_misses=emb_res.icache_misses,
+    )
+
+
+def measure_suite(workloads, ways=1):
+    """Measure a collection of workloads; returns a list of Measurements."""
+    return [measure_workload(wl, ways=ways) for wl in workloads]
+
+
+def geometric_or_arithmetic_mean(values):
+    """Arithmetic mean (the paper reports arithmetic averages)."""
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,131 @@
+"""Tests for the area model (Table 2) and related-work baselines."""
+
+import pytest
+
+from repro.area.baselines import related_work_comparison
+from repro.area.cache import CacheAreaModel, argus_dcache_area, cache_area
+from repro.area.components import (
+    argus_breakdown,
+    component_areas,
+    core_area_argus,
+    core_area_baseline,
+    core_overhead,
+)
+from repro.area.report import area_table, format_area_table
+from repro.eval import paper
+
+
+class TestCoreArea:
+    def test_baseline_calibrated_to_paper(self):
+        assert core_area_baseline() == pytest.approx(6.58, abs=0.01)
+
+    def test_argus_core_near_paper(self):
+        assert core_area_argus() == pytest.approx(7.67, rel=0.02)
+
+    def test_overhead_under_20_percent(self):
+        """Headline claim: <17% core area overhead (we model 17.0%)."""
+        assert 0.10 < core_overhead() < 0.20
+
+    def test_component_areas_sum(self):
+        areas = component_areas()
+        assert sum(areas.values()) == pytest.approx(core_area_argus())
+
+    def test_dataflow_checking_dominates_argus_area(self):
+        """Sec 4.3: 'Most of Argus-1's area is used for dataflow and
+        control flow checking'; computation checkers come second."""
+        breakdown = list(argus_breakdown())
+        assert breakdown[0] == "shs_datapath"
+
+
+class TestCacheArea:
+    def test_paper_fit_points(self):
+        assert cache_area(ways=1) == pytest.approx(2.14, abs=0.05)
+        assert cache_area(ways=2) == pytest.approx(2.42, abs=0.06)
+
+    def test_argus_dcache_overhead(self):
+        for ways, reference in ((1, 0.049), (2, 0.051)):
+            base = cache_area(ways=ways)
+            argus = argus_dcache_area(ways=ways)
+            overhead = (argus - base) / base
+            assert overhead == pytest.approx(reference, abs=0.015)
+
+    def test_icache_unchanged(self):
+        """Argus adds no I-cache parity: instruction errors surface at the
+        DCS comparison (Sec. 3.4)."""
+        assert cache_area(ways=1, parity_per_word=False) == cache_area(ways=1)
+
+    def test_tag_bits_scale_with_associativity(self):
+        one = CacheAreaModel(ways=1)
+        two = CacheAreaModel(ways=2)
+        assert two.tag_bits_per_line > one.tag_bits_per_line
+
+    def test_parity_adds_one_bit_per_word(self):
+        plain = CacheAreaModel(ways=1)
+        protected = CacheAreaModel(ways=1, parity_per_word=True)
+        extra_bits = (protected.data_array_mm2() - plain.data_array_mm2())
+        assert extra_bits == pytest.approx(2048 * 24e-6)
+
+    def test_size_scaling(self):
+        assert cache_area(size_bytes=16384) > cache_area(size_bytes=8192)
+
+
+class TestTable2:
+    def test_all_rows_present(self):
+        labels = [row.label for row in area_table()]
+        assert labels == ["core", "I-cache: 1-way", "I-cache: 2-way",
+                          "D-cache: 1-way", "D-cache: 2-way",
+                          "total: 1-way", "total: 2-way"]
+
+    def test_icache_rows_zero_overhead(self):
+        for row in area_table():
+            if row.label.startswith("I-cache"):
+                assert row.overhead == 0.0
+
+    def test_total_overhead_below_core_overhead(self):
+        """Caches dilute the Argus area: total-chip overhead (paper ~11%)
+        is lower than core overhead (paper ~17%)."""
+        rows = {row.label: row for row in area_table()}
+        assert rows["total: 1-way"].overhead < rows["core"].overhead
+        assert 0.08 < rows["total: 1-way"].overhead < 0.14
+        assert 0.08 < rows["total: 2-way"].overhead < 0.14
+
+    def test_rows_match_paper_within_tolerance(self):
+        rows = {row.label: row for row in area_table()}
+        for label, (base, argus, overhead) in paper.TABLE2.items():
+            row = rows[label]
+            assert row.baseline_mm2 == pytest.approx(base, rel=0.05)
+            assert row.argus_mm2 == pytest.approx(argus, rel=0.05)
+            assert row.overhead == pytest.approx(overhead, abs=0.02)
+
+    def test_formatting(self):
+        text = format_area_table()
+        assert "core" in text and "total: 2-way" in text
+
+
+class TestRelatedWork:
+    def test_argus_cheapest_full_coverage_scheme(self):
+        """The paper's pitch: among schemes detecting both transients and
+        permanents, Argus has by far the lowest area overhead."""
+        rows = related_work_comparison()
+        full = [r for r in rows if r.detects_transients and r.detects_permanents]
+        cheapest = min(full, key=lambda r: r.core_overhead)
+        assert cheapest.name == "Argus-1"
+
+    def test_dmr_and_tmr_cost_a_core(self):
+        rows = {r.name: r for r in related_work_comparison()}
+        assert rows["DMR"].core_overhead > 1.0
+        assert rows["TMR-FF (LEON-FT)"].core_overhead == pytest.approx(1.0, abs=0.25)
+
+    def test_diva_checker_near_core_size_for_simple_cores(self):
+        rows = {r.name: r for r in related_work_comparison()}
+        assert rows["DIVA checker"].core_overhead > 0.75
+
+    def test_bulletproof_no_transients(self):
+        rows = {r.name: r for r in related_work_comparison()}
+        assert not rows["BulletProof"].detects_transients
+        assert rows["BulletProof"].core_overhead > 0.096  # 1-wide penalty
+
+    def test_software_redundancy_trades_time_not_area(self):
+        rows = {r.name: r for r in related_work_comparison()}
+        assert rows["SWIFT (software)"].core_overhead == 0.0
+        assert rows["SWIFT (software)"].performance_overhead >= 0.5

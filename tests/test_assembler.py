@@ -1,0 +1,197 @@
+"""Unit tests for layout, symbol resolution and encoding."""
+
+import pytest
+
+from repro.asm import assemble, parse
+from repro.asm.assembler import AsmError
+from repro.isa.decode import decode
+from repro.isa.opcodes import Op
+
+
+def asm(source, **kwargs):
+    return assemble(parse(source), **kwargs)
+
+
+class TestLayout:
+    def test_text_base_default(self):
+        program = asm("start: nop\nhalt")
+        assert program.text_base == 0x1000
+        assert program.entry == 0x1000
+
+    def test_entry_defaults_to_text_base_without_start(self):
+        program = asm("nop\nhalt")
+        assert program.entry == program.text_base
+
+    def test_words_are_contiguous(self):
+        program = asm("nop\nnop\nhalt")
+        assert len(program.words) == 3
+        assert program.text_size == 12
+
+    def test_labels_resolve_to_instruction_addresses(self):
+        program = asm("a: nop\nb: nop\nhalt")
+        assert program.addr_of("a") == 0x1000
+        assert program.addr_of("b") == 0x1004
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AsmError):
+            asm("a: nop\na: halt")
+
+    def test_custom_text_base(self):
+        program = asm("start: halt", text_base=0x2000)
+        assert program.entry == 0x2000
+
+    def test_misaligned_text_base_rejected(self):
+        with pytest.raises(AsmError):
+            asm("halt", text_base=0x1002)
+
+    def test_data_base_after_text(self):
+        program = asm("halt\n.data\nv: .word 7")
+        assert program.data_base >= program.text_end
+        assert program.data_base % 256 == 0
+
+    def test_data_base_overlap_rejected(self):
+        with pytest.raises(AsmError):
+            asm("halt\n.data\n.word 1", data_base=0x1000)
+
+
+class TestBranches:
+    def test_backward_branch_offset(self):
+        program = asm("loop: nop\nbf loop\nnop\nhalt")
+        instr = decode(program.words[1])
+        assert instr.op is Op.BF
+        assert instr.offset == -1
+
+    def test_forward_jump(self):
+        program = asm("j end\nnop\nend: halt")
+        assert decode(program.words[0]).offset == 2
+
+    def test_jal_target(self):
+        program = asm("jal fn\nnop\nhalt\nfn: ret\nnop")
+        assert decode(program.words[0]).offset == 3
+
+    def test_undefined_label(self):
+        with pytest.raises(AsmError):
+            asm("j nowhere\nnop")
+
+
+class TestDataSection:
+    def test_word_values(self):
+        program = asm("halt\n.data\nv: .word 1, -1, 0x7FFFFFFF")
+        base = program.addr_of("v") - program.data_base
+        assert program.data[base:base + 4] == (1).to_bytes(4, "little")
+        assert program.data[base + 4:base + 8] == b"\xff\xff\xff\xff"
+
+    def test_half_and_byte(self):
+        program = asm("halt\n.data\nh: .half 0x1234\nb: .byte 0xAB")
+        off_h = program.addr_of("h") - program.data_base
+        off_b = program.addr_of("b") - program.data_base
+        assert program.data[off_h:off_h + 2] == b"\x34\x12"
+        assert program.data[off_b] == 0xAB
+
+    def test_word_after_byte_is_aligned(self):
+        program = asm("halt\n.data\n.byte 1\nw: .word 2")
+        assert program.addr_of("w") % 4 == 0
+
+    def test_label_binds_to_aligned_item(self):
+        program = asm("halt\n.data\n.byte 1\nlbl: .word 9")
+        off = program.addr_of("lbl") - program.data_base
+        assert program.data[off:off + 4] == (9).to_bytes(4, "little")
+
+    def test_space_reserves_zeroed_bytes(self):
+        program = asm("halt\n.data\ns: .space 16\nafter: .byte 1")
+        assert program.addr_of("after") - program.addr_of("s") == 16
+
+    def test_align(self):
+        program = asm("halt\n.data\n.byte 1\n.align 8\nlbl: .byte 2")
+        assert (program.addr_of("lbl") - program.data_base) % 8 == 0
+
+    def test_word_of_label_address(self):
+        program = asm("start: halt\n.data\nptr: .word start")
+        off = program.addr_of("ptr") - program.data_base
+        assert int.from_bytes(program.data[off:off + 4], "little") == 0x1000
+
+    def test_codeptr_site_recorded(self):
+        program = asm("start: halt\n.data\ntab: .codeptr start")
+        assert program.codeptr_sites == [(program.addr_of("tab"), "start")]
+
+    def test_instructions_in_data_rejected(self):
+        with pytest.raises(AsmError):
+            asm(".data\nnop")
+
+    def test_directives_in_text_rejected(self):
+        with pytest.raises(AsmError):
+            asm(".word 1\nhalt")
+
+
+class TestEncodingThroughAssembler:
+    def test_sig_terminator_bit(self):
+        program = asm("sig 1\nhalt")
+        assert program.words[0] & (1 << 25)
+        program = asm("sig\nhalt")
+        assert not program.words[0] & (1 << 25)
+
+    def test_sig_bad_operand(self):
+        with pytest.raises(AsmError):
+            asm("sig 2\nhalt")
+
+    def test_store_operand_order(self):
+        program = asm("sw r7, 12(r3)\nhalt")
+        instr = decode(program.words[0])
+        assert (instr.rb, instr.ra, instr.imm) == (7, 3, 12)
+
+    def test_load_symbolic_offset(self):
+        program = asm("lwz r1, v(r0)\nhalt\n.data\nv: .word 3")
+        instr = decode(program.words[0])
+        assert instr.imm == program.addr_of("v")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmError):
+            asm("frobnicate r1, r2")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AsmError):
+            asm("add r1, r2")
+
+    def test_compare_immediate_forms(self):
+        program = asm("sfgtsi r3, -5\nhalt")
+        instr = decode(program.words[0])
+        assert instr.op is Op.SFI
+        assert instr.imm == -5
+
+    def test_word_at_and_set_word(self):
+        program = asm("nop\nhalt")
+        addr = program.text_base
+        original = program.word_at(addr)
+        program.set_word(addr, 0xDEADBEEF)
+        assert program.word_at(addr) == 0xDEADBEEF != original
+        with pytest.raises(IndexError):
+            program.word_at(addr + 0x100)
+
+
+class TestEquConstants:
+    def test_equ_usable_as_immediate(self):
+        program = asm(".equ LIMIT, 42\naddi r1, r0, LIMIT\nhalt")
+        instr = decode(program.words[0])
+        assert instr.imm == 42
+
+    def test_equ_with_hi_lo(self):
+        program = asm(".equ BASE, 0x12345678\nmovhi r1, %hi(BASE)\n"
+                      "ori r1, r1, %lo(BASE)\nhalt")
+        assert decode(program.words[0]).imm == 0x1234
+        assert decode(program.words[1]).imm == 0x5678
+
+    def test_equ_in_memory_offset(self):
+        program = asm(".equ OFF, 8\nlwz r1, OFF(r2)\nhalt")
+        assert decode(program.words[0]).imm == 8
+
+    def test_set_alias(self):
+        program = asm(".set N, 3\naddi r1, r0, N\nhalt")
+        assert decode(program.words[0]).imm == 3
+
+    def test_equ_label_collision_rejected(self):
+        with pytest.raises(AsmError):
+            asm(".equ start, 5\nstart: halt")
+
+    def test_bad_equ_rejected(self):
+        with pytest.raises(AsmError):
+            asm(".equ 5, LIMIT\nhalt")

@@ -1,0 +1,67 @@
+"""Tests pinning each kernel's intended instruction-mix character."""
+
+import pytest
+
+from repro.eval.characterization import (
+    characterize,
+    characterize_suite,
+    format_characterization,
+)
+from repro.workloads import WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    subset = [WORKLOADS[name] for name in
+              ("adpcm_enc", "gs", "gsm", "mpeg2", "pegwit", "rasta",
+               "epic", "mesa")]
+    return {row.name: row for row in characterize_suite(subset)}
+
+
+class TestKernelCharacter:
+    def test_gsm_is_multiply_heavy(self, profiles):
+        assert profiles["gsm"].muldiv_fraction > 0.05
+        assert profiles["gsm"].muldiv_fraction > profiles["epic"].muldiv_fraction
+
+    def test_mpeg2_is_memory_heavy(self, profiles):
+        assert profiles["mpeg2"].memory_fraction > 0.15
+        assert profiles["mpeg2"].memory_fraction > profiles["pegwit"].memory_fraction
+
+    def test_pegwit_is_alu_heavy(self, profiles):
+        assert profiles["pegwit"].alu_fraction > 0.6
+
+    def test_rasta_uses_division(self, profiles):
+        assert profiles["rasta"].muldiv_fraction > 0.05
+
+    def test_mesa_divides_for_perspective(self, profiles):
+        assert profiles["mesa"].muldiv_fraction > 0.10
+
+    def test_cpi_band(self, profiles):
+        """Sec 4.4: an average instruction takes 1.1-1.7 cycles.  Stream-
+        or divide-bound kernels (epic, rasta) legitimately sit above the
+        band on a 20-cycle-miss system; the suite's typical (median)
+        kernel must sit inside it."""
+        cpis = sorted(row.cpi for row in profiles.values())
+        median = cpis[len(cpis) // 2]
+        assert 1.05 < median < 1.8
+        for row in profiles.values():
+            assert 1.0 < row.cpi < 3.8, row.name
+
+    def test_fractions_are_sane(self, profiles):
+        for row in profiles.values():
+            total = (row.alu_fraction + row.muldiv_fraction
+                     + row.memory_fraction + row.control_fraction)
+            assert 0.5 < total <= 1.01, row.name
+
+    def test_embedding_statistics_present(self, profiles):
+        for row in profiles.values():
+            assert row.blocks > 3
+            assert row.sigs_added >= 1
+            assert 0.0 < row.static_overhead < 0.2
+
+
+class TestFormatting:
+    def test_markdown_table(self, profiles):
+        text = format_characterization(list(profiles.values()))
+        assert text.startswith("| bench")
+        assert "| gsm |" in text

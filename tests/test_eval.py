@@ -1,0 +1,123 @@
+"""Tests for the evaluation harness (paper-vs-measured machinery)."""
+
+import pytest
+
+from repro.eval import paper
+from repro.eval.detectors import PAPER_GROUPING, attribution, coverage_report
+from repro.eval.false_positives import format_false_positives, run_false_positive_suite
+from repro.eval.figures import FigureSeries, run_figures
+from repro.eval.latency import LatencyStats, format_latency, latency_by_group
+from repro.eval.table1 import Table1Row, format_table1, run_table1
+from repro.eval.table2 import format_table2, run_table2
+from repro.faults.campaign import CampaignSummary, ExperimentResult
+from repro.faults.model import TRANSIENT
+from repro.workloads import WORKLOADS
+
+
+def _result(checker=None, masked=False, latency=None):
+    return ExperimentResult(
+        spec=None, duration=TRANSIENT, inject_at=0, masked=masked,
+        detected=checker is not None, checker=checker,
+        latency_cycles=latency, latency_instructions=latency,
+        latency_blocks=0 if latency is not None else None)
+
+
+class TestAttribution:
+    def test_memory_folds_into_parity(self):
+        assert PAPER_GROUPING["memory"] == "parity"
+
+    def test_fractions(self):
+        summary = CampaignSummary(duration=TRANSIENT)
+        for checker in ("computation", "computation", "parity", "memory"):
+            summary.add(_result(checker=checker))
+        measured = attribution(summary)
+        assert measured["computation"] == 0.5
+        assert measured["parity"] == 0.5  # parity + memory
+
+    def test_empty_attribution(self):
+        assert attribution(CampaignSummary(duration=TRANSIENT)) == {}
+
+    def test_coverage_report_keys(self):
+        summary = CampaignSummary(duration=TRANSIENT)
+        summary.add(_result(checker="parity"))
+        report = coverage_report(summary)
+        assert report["unmasked_coverage"] == 1.0
+        assert report["attribution_paper"] is paper.DETECTION_ATTRIBUTION
+
+
+class TestLatency:
+    def test_bucketing(self):
+        results = [_result("computation", latency=1),
+                   _result("computation", latency=3),
+                   _result("dcs", latency=40),
+                   _result("memory", latency=500)]
+        stats = latency_by_group(results)
+        assert stats["computation"].count == 2
+        assert stats["parity"].count == 1  # memory folded in
+        assert stats["dcs"].median("cycles") == 40
+
+    def test_percentiles(self):
+        stats = LatencyStats("x")
+        for value in range(10):
+            stats.add(value, value, value)
+        assert stats.median("cycles") == 5
+        assert stats.p90("cycles") == 9
+
+    def test_empty_stats(self):
+        assert LatencyStats("x").median() is None
+
+    def test_formatting(self):
+        results = [_result("computation", latency=1)]
+        text = format_latency(latency_by_group(results))
+        assert "computation" in text
+
+
+class TestTable1Harness:
+    def test_small_run_produces_both_rows(self):
+        rows, summaries = run_table1(experiments=30, seed=3)
+        assert [row.error_type for row in rows] == ["transient", "permanent"]
+        for row in rows:
+            assert abs(sum(row.measured.values()) - 1.0) < 1e-9
+        text = format_table1(rows)
+        assert "paper" in text
+
+    def test_row_formatting(self):
+        row = Table1Row("transient",
+                        {k: 0.25 for k in paper.TABLE1["transient"]},
+                        paper.TABLE1["transient"])
+        assert "25.00%" in row.formatted()
+
+
+class TestTable2Harness:
+    def test_rows_have_references(self):
+        rows = run_table2()
+        assert len(rows) == 7
+        for row in rows:
+            assert row[4] is not None  # every row exists in the paper
+
+    def test_formatting(self):
+        assert "D-cache" in format_table2()
+
+
+class TestFalsePositives:
+    def test_subset_run(self):
+        results = run_false_positive_suite(
+            workloads=[WORKLOADS["rasta"]], include_stress=True)
+        names = [name for name, *_ in results]
+        assert names == ["rasta", "stress"]
+        assert "false positives: 0" in format_false_positives(results)
+
+
+class TestFigures:
+    def test_series_on_subset(self):
+        subset = [WORKLOADS["adpcm_enc"], WORKLOADS["rasta"]]
+        fig5, static, fig6, fig7 = run_figures(subset)
+        assert set(fig5.values) == {"adpcm_enc", "rasta"}
+        for series in (fig5, static, fig6, fig7):
+            assert series.paper_average > 0
+        assert fig5.average < static.average  # Sec 4.4's key relation
+        assert "adpcm_enc" in fig6.formatted()
+
+    def test_series_average(self):
+        series = FigureSeries("x", {"a": 0.02, "b": 0.04}, 0.035)
+        assert series.average == pytest.approx(0.03)

@@ -1,0 +1,44 @@
+"""Smoke tests: every shipped example runs green as a subprocess."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout, check=False)
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "injected fault detected" in result.stdout
+
+    def test_signature_embedding_tour(self):
+        result = run_example("signature_embedding_tour.py")
+        assert result.returncode == 0, result.stderr
+        assert "phase 3" in result.stdout
+        assert "no errors" in result.stdout
+
+    def test_fault_injection_campaign(self):
+        result = run_example("fault_injection_campaign.py", "40")
+        assert result.returncode == 0, result.stderr
+        assert "unmasked coverage" in result.stdout
+
+    def test_custom_workload(self):
+        result = run_example("custom_workload.py")
+        assert result.returncode == 0, result.stderr
+        assert "strsearch" in result.stdout
+
+    def test_recovery_demo(self):
+        result = run_example("recovery_demo.py")
+        assert result.returncode == 0, result.stderr
+        assert "burst survived" in result.stdout
+        assert "diagnosed" in result.stdout

@@ -1,0 +1,139 @@
+"""Tests for the paper-mentioned extensions: memory scrubbing (Sec. 4.2)
+and the lockstep-DMR reference baseline (Sec. 5)."""
+
+import pytest
+
+from repro.argus.errors import MemoryCheckError
+from repro.argus.scrubber import Scrubber, scrub_latency_bound
+from repro.cpu import CheckedCore, LockstepCore, LockstepMismatch
+from repro.faults.injector import SignalInjector
+from repro.faults.model import FaultSpec
+from repro.mem.checked import CheckedMemory
+from repro.toolchain import embed_program
+
+PROGRAM = """
+start:  li   r1, 5
+        li   r2, 0
+        la   r6, buf
+loop:   add  r2, r2, r1
+        sw   r2, 0(r6)
+        addi r1, r1, -1
+        sfgtsi r1, 0
+        bf   loop
+        nop
+        halt
+        .data
+buf:    .word 0
+"""
+
+
+class TestScrubber:
+    def _memory(self, words=16):
+        memory = CheckedMemory()
+        for i in range(words):
+            memory.store_word(0x1000 + 4 * i, i * 0x01010101)
+        return memory
+
+    def test_clean_memory_scrubs_quietly(self):
+        scrubber = Scrubber(self._memory(), words_per_activation=4)
+        assert scrubber.full_sweep() == 16
+        assert scrubber.sweeps_completed == 1
+
+    def test_finds_planted_storage_error(self):
+        memory = self._memory()
+        memory.corrupt_stored_bit(0x1008, 7)
+        scrubber = Scrubber(memory, words_per_activation=4)
+        with pytest.raises(MemoryCheckError):
+            scrubber.full_sweep()
+
+    def test_incremental_cursor_wraps(self):
+        scrubber = Scrubber(self._memory(words=6), words_per_activation=4)
+        scrubber.activate()
+        scrubber.activate()  # 8 checks over 6 words: wraps once
+        assert scrubber.words_checked == 8
+        assert scrubber.sweeps_completed == 1
+
+    def test_incremental_detection_within_one_sweep(self):
+        memory = self._memory(words=8)
+        memory.corrupt_parity(0x101C)  # the last word
+        scrubber = Scrubber(memory, words_per_activation=2)
+        activations = 0
+        with pytest.raises(MemoryCheckError):
+            for _ in range(8):
+                scrubber.activate()
+                activations += 1
+        assert activations <= 4  # 8 words / 2 per activation
+
+    def test_empty_memory(self):
+        assert Scrubber(CheckedMemory()).activate() == 0
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Scrubber(CheckedMemory(), words_per_activation=0)
+
+    def test_latency_bound_formula(self):
+        assert scrub_latency_bound(0, 4, 100) == 0
+        assert scrub_latency_bound(16, 4, 100) == 400
+        assert scrub_latency_bound(17, 4, 100) == 500  # partial batch
+
+    def test_bound_holds_empirically(self):
+        memory = self._memory(words=20)
+        memory.corrupt_parity(0x1000 + 4 * 19)
+        scrubber = Scrubber(memory, words_per_activation=3)
+        bound = scrub_latency_bound(20, 3, 1)
+        activations = 0
+        with pytest.raises(MemoryCheckError):
+            while True:
+                scrubber.activate()
+                activations += 1
+        assert activations <= bound
+
+
+class TestLockstep:
+    def test_clean_lockstep_run(self):
+        embedded = embed_program(PROGRAM)
+        core = LockstepCore(embedded)
+        result = core.run()
+        assert result.halted
+        assert not result.mismatch
+        assert core.primary.reg(2) == core.shadow.reg(2) == 15
+
+    def test_detects_alu_fault_in_one_replica(self):
+        embedded = embed_program(PROGRAM)
+        injector = SignalInjector(FaultSpec("ex.alu.result", 1 << 4))
+        core = LockstepCore(embedded, injector=injector)
+        injector.enable()
+        result = core.run()
+        assert result.mismatch
+        assert result.mismatch_step >= 1
+
+    def test_detects_pc_fault(self):
+        embedded = embed_program(PROGRAM)
+        injector = SignalInjector(FaultSpec("if.pc", 1 << 4))
+        core = LockstepCore(embedded, injector=injector)
+        injector.enable()
+        assert core.run().mismatch
+
+    def test_detects_hang(self):
+        embedded = embed_program(PROGRAM)
+        injector = SignalInjector(FaultSpec("ctl.hang", 1))
+        core = LockstepCore(embedded, injector=injector)
+        injector.enable()
+        assert core.run().mismatch
+
+    def test_misses_masked_faults(self):
+        """Like Argus, DMR cannot see architecturally masked errors - a
+        flip confined to the multiplier's dead upper half never retires."""
+        embedded = embed_program(PROGRAM)
+        injector = SignalInjector(FaultSpec("ex.mul.product", 1 << 60))
+        core = LockstepCore(embedded, injector=injector)
+        injector.enable()
+        result = core.run()
+        assert not result.mismatch  # no multiply in this program at all
+
+    def test_replicas_share_nothing(self):
+        embedded = embed_program(PROGRAM)
+        core = LockstepCore(embedded)
+        core.run()
+        assert core.primary.dmem is not core.shadow.dmem
+        assert core.primary.rf is not core.shadow.rf

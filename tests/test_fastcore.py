@@ -1,0 +1,204 @@
+"""Unit tests for the fast functional + timing core."""
+
+import pytest
+
+from repro.asm import assemble, parse
+from repro.cpu import ExecutionLimitExceeded, FastCore, Timing
+from repro.isa.opcodes import Op
+from repro.mem.hierarchy import MemoryConfig
+
+
+def run(source, **kwargs):
+    core = FastCore(assemble(parse(source)), **kwargs)
+    result = core.run()
+    return core, result
+
+
+class TestArithmetic:
+    def test_add_chain(self):
+        core, __ = run("li r1, 40\nli r2, 2\nadd r3, r1, r2\nhalt")
+        assert core.reg(3) == 42
+
+    def test_r0_is_hardwired_zero(self):
+        core, __ = run("li r0, 99\nadd r1, r0, r0\nhalt")
+        assert core.reg(0) == 0
+        assert core.reg(1) == 0
+
+    def test_movhi_ori_pair(self):
+        core, __ = run("li r1, 0xDEADBEEF\nhalt")
+        assert core.reg(1) == 0xDEADBEEF
+
+    def test_signed_division(self):
+        core, __ = run("li r1, -100\nli r2, 7\ndiv r3, r1, r2\nhalt")
+        assert core.reg(3) == (-14) & 0xFFFFFFFF
+
+    def test_extensions(self):
+        core, __ = run("li r1, 0x8081\nexths r2, r1\nextbz r3, r1\nhalt")
+        assert core.reg(2) == 0xFFFF8081
+        assert core.reg(3) == 0x81
+
+
+class TestMemoryOps:
+    def test_word_store_load(self):
+        core, __ = run("""
+            la r1, buf
+            li r2, 0x12345678
+            sw r2, 0(r1)
+            lwz r3, 0(r1)
+            halt
+            .data
+buf:        .word 0
+        """)
+        assert core.reg(3) == 0x12345678
+
+    def test_subword_store_load(self):
+        core, __ = run("""
+            la r1, buf
+            li r2, -2
+            sh r2, 0(r1)
+            lhz r3, 0(r1)
+            lhs r4, 0(r1)
+            sb r2, 5(r1)
+            lbz r5, 5(r1)
+            lbs r6, 5(r1)
+            halt
+            .data
+buf:        .word 0, 0
+        """)
+        assert core.reg(3) == 0xFFFE
+        assert core.reg(4) == 0xFFFFFFFE
+        assert core.reg(5) == 0xFE
+        assert core.reg(6) == 0xFFFFFFFE
+
+    def test_initial_data_visible(self):
+        core, __ = run("la r1, v\nlwz r2, 0(r1)\nhalt\n.data\nv: .word 1234")
+        assert core.reg(2) == 1234
+
+
+class TestControlFlow:
+    def test_taken_branch_skips(self):
+        core, __ = run("""
+            li r1, 1
+            sfeqi r1, 1
+            bf skip
+            nop
+            li r2, 111
+skip:       halt
+        """)
+        assert core.reg(2) == 0
+
+    def test_not_taken_branch_falls_through(self):
+        core, __ = run("""
+            li r1, 1
+            sfeqi r1, 2
+            bf skip
+            nop
+            li r2, 111
+skip:       halt
+        """)
+        assert core.reg(2) == 111
+
+    def test_delay_slot_always_executes(self):
+        core, __ = run("""
+            li r1, 1
+            sfeqi r1, 1
+            bf skip
+            li r2, 5
+            li r2, 9
+skip:       halt
+        """)
+        assert core.reg(2) == 5
+
+    def test_call_and_return(self):
+        core, __ = run("""
+start:      jal fn
+            nop
+            addi r2, r2, 1
+            halt
+fn:         li r2, 10
+            ret
+            nop
+        """)
+        assert core.reg(2) == 11
+        assert core.reg(9) == 0x1008
+
+    def test_indirect_jump_masks_tag_bits(self):
+        core, __ = run("""
+start:      la r1, ptr
+            lwz r2, 0(r1)
+            jr r2
+            nop
+            halt
+target:     li r3, 42
+            halt
+            .data
+ptr:        .codeptr target
+        """)
+        assert core.reg(3) == 42
+
+    def test_branch_in_delay_slot_is_an_error(self):
+        with pytest.raises(RuntimeError):
+            run("j a\nj a\na: halt")
+
+    def test_loop_executes_expected_count(self):
+        core, result = run("""
+            li r1, 5
+            li r2, 0
+loop:       addi r2, r2, 1
+            addi r1, r1, -1
+            sfgtsi r1, 0
+            bf loop
+            nop
+            halt
+        """)
+        assert core.reg(2) == 5
+
+
+class TestTiming:
+    def test_cpi_one_for_straightline_hits(self):
+        __, result = run("nop\n" * 10 + "halt")
+        # 11 instructions, one cold I-cache miss per 16-byte line.
+        lines = (11 * 4 + 15) // 16
+        assert result.cycles == 11 + lines * 20
+
+    def test_mul_div_stalls(self):
+        timing = Timing(mul_extra=2, div_extra=32)
+        __, plain = run("li r1, 6\nli r2, 7\nadd r3, r1, r2\nhalt", timing=timing)
+        __, mul = run("li r1, 6\nli r2, 7\nmul r3, r1, r2\nhalt", timing=timing)
+        __, div = run("li r1, 6\nli r2, 7\ndiv r3, r1, r2\nhalt", timing=timing)
+        assert mul.cycles - plain.cycles == 2
+        assert div.cycles - plain.cycles == 32
+
+    def test_dcache_miss_penalty(self):
+        source = "la r1, v\nlwz r2, 0(r1)\nlwz r3, 0(r1)\nhalt\n.data\nv: .word 1"
+        __, result = run(source, mem_config=MemoryConfig.paper(ways=1))
+        assert result.dcache_misses == 1
+        assert result.dcache_hits == 1
+
+    def test_sig_counts_tracked(self):
+        __, result = run("sig\nsig 1\nnop\nhalt")
+        assert result.sig_instructions == 2
+        assert result.instructions == 4
+
+    def test_histogram(self):
+        core = FastCore(assemble(parse("nop\nnop\nhalt")), collect_histogram=True)
+        result = core.run()
+        assert result.op_histogram[Op.NOP] == 2
+        assert result.op_histogram[Op.HALT] == 1
+
+
+class TestLimits:
+    def test_instruction_budget(self):
+        core = FastCore(assemble(parse("loop: j loop\nnop")))
+        with pytest.raises(ExecutionLimitExceeded):
+            core.run(max_instructions=100)
+
+    def test_cycle_budget(self):
+        core = FastCore(assemble(parse("loop: j loop\nnop")))
+        with pytest.raises(ExecutionLimitExceeded):
+            core.run(max_cycles=50)
+
+    def test_halted_core_reports_state(self):
+        core, result = run("halt")
+        assert result.halted
+        assert core.halted

@@ -1,0 +1,133 @@
+"""Empirical verification of Appendix A on the abstract machine.
+
+Two directions of the paper's theorem, tested on random programs:
+
+* **Soundness of the induction**: the correct trace satisfies every
+  checker condition, and any trace satisfying every condition reaches
+  the correct final state.
+* **Completeness**: any single mutation of the trace that changes the
+  final architectural state violates at least one checker condition -
+  ideal checkers admit no silent corruption.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.formal import (
+    AbstractInstruction,
+    MUTATION_KINDS,
+    check_trace,
+    correct_trace,
+    mutate_trace,
+    random_program,
+)
+from repro.formal.machine import MEM_SIZE, NUM_REGS
+
+
+def _trace(seed, length=12):
+    rng = random.Random(seed)
+    program = random_program(rng, length=length)
+    initial_regs = [rng.randrange(0xFFFF) for _ in range(NUM_REGS)]
+    initial_mem = [rng.randrange(0xFFFF) for _ in range(MEM_SIZE)]
+    return correct_trace(program, initial_regs, initial_mem)
+
+
+class TestCorrectExecution:
+    def test_simple_program_checks_clean(self):
+        program = [
+            AbstractInstruction("const", output=1, imm=5),
+            AbstractInstruction("const", output=2, imm=7),
+            AbstractInstruction("add", inputs=(1, 2), output=3),
+            AbstractInstruction("store", inputs=(0, 3), imm=4),
+            AbstractInstruction("load", inputs=(0,), output=4, imm=4),
+        ]
+        trace = correct_trace(program)
+        assert check_trace(trace).ok
+        regs, mem = trace.final_state()
+        assert regs[3] == 12
+        assert mem[4] == 12
+        assert regs[4] == 12
+
+    def test_final_state_matches_machine(self):
+        trace = _trace(7)
+        regs, mem = trace.final_state()
+        assert len(regs) == NUM_REGS and len(mem) == MEM_SIZE
+
+
+class TestMutationAttribution:
+    """Each error class trips the checker Appendix A assigns to it."""
+
+    def _mutated(self, kind, seed=0):
+        rng = random.Random(seed)
+        for attempt in range(50):
+            trace = _trace(rng.randrange(1 << 30))
+            mutated = mutate_trace(trace, kind, rng)
+            if mutated is not None:
+                return trace, mutated
+        pytest.skip("no applicable mutation site found")
+
+    def test_flip_input_value_trips_value_checkers(self):
+        __, mutated = self._mutated("flip_input_value")
+        result = check_trace(mutated)
+        assert result.violated("DFC_V") or result.violated("MFC_V") \
+            or result.violated("CC")
+
+    def test_redirect_input_edge_trips_shape_checker(self):
+        __, mutated = self._mutated("redirect_input_edge")
+        assert check_trace(mutated).violated("DFC_S")
+
+    def test_flip_output_value_trips_computation_checker(self):
+        __, mutated = self._mutated("flip_output_value")
+        assert check_trace(mutated).violated("CC")
+
+    def test_redirect_output_edge_trips_shape_checkers(self):
+        __, mutated = self._mutated("redirect_output_edge")
+        result = check_trace(mutated)
+        assert result.violated("DFC_S") or result.violated("MFC_S")
+
+    def test_swap_specification_trips_control_flow(self):
+        __, mutated = self._mutated("swap_specification")
+        assert check_trace(mutated).violated("CFC")
+
+    def test_drop_instruction_trips_control_flow(self):
+        __, mutated = self._mutated("drop_instruction")
+        assert check_trace(mutated).violated("CFC")
+
+
+@given(seed=st.integers(0, 1 << 30))
+@settings(max_examples=100, deadline=None)
+def test_correct_traces_always_pass(seed):
+    assert check_trace(_trace(seed)).ok
+
+
+@given(seed=st.integers(0, 1 << 30),
+       kind=st.sampled_from(MUTATION_KINDS),
+       mutation_seed=st.integers(0, 1 << 30))
+@settings(max_examples=300, deadline=None)
+def test_completeness_no_silent_corruption(seed, kind, mutation_seed):
+    """THE theorem: a mutated execution whose final state differs from
+    the correct one violates at least one ideal checker condition."""
+    trace = _trace(seed)
+    mutated = mutate_trace(trace, kind, random.Random(mutation_seed))
+    if mutated is None:
+        return
+    if mutated.final_state() == trace.final_state():
+        return  # masked error: no detection obligation
+    assert not check_trace(mutated).ok
+
+
+@given(seed=st.integers(0, 1 << 30),
+       kind=st.sampled_from(MUTATION_KINDS),
+       mutation_seed=st.integers(0, 1 << 30))
+@settings(max_examples=300, deadline=None)
+def test_soundness_passing_traces_are_correct(seed, kind, mutation_seed):
+    """The contrapositive: any trace that satisfies all conditions
+    computes exactly the correct final state."""
+    trace = _trace(seed)
+    mutated = mutate_trace(trace, kind, random.Random(mutation_seed))
+    if mutated is None:
+        return
+    if check_trace(mutated).ok:
+        assert mutated.final_state() == trace.final_state()

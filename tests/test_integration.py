@@ -1,0 +1,111 @@
+"""End-to-end integration tests: stress test, detection-latency claims,
+and the cross-checker composition the paper's coverage rests on."""
+
+import pytest
+
+from repro.cpu import CheckedCore, FastCore
+from repro.asm import assemble, parse
+from repro.faults.campaign import Campaign
+from repro.faults.model import PERMANENT, TRANSIENT, FaultSpec
+from repro.faults.stress import build_stress_program, stress_test_source
+
+
+@pytest.fixture(scope="module")
+def stress():
+    return build_stress_program()
+
+
+@pytest.fixture(scope="module")
+def campaign(stress):
+    return Campaign(embedded=stress, seed=5)
+
+
+class TestStressProgram:
+    def test_checked_run_is_clean(self, stress):
+        core = CheckedCore(stress, detect=True)
+        result = core.run()
+        assert result.halted
+        assert result.blocks_checked > 50
+
+    def test_base_and_embedded_checksums_match(self, stress):
+        base = assemble(parse(stress_test_source()))
+        fast = FastCore(base)
+        fast.run()
+        checked = CheckedCore(stress, detect=True)
+        checked.run()
+        result_addr = stress.program.addr_of("result")
+        base_addr = base.addr_of("result")
+        assert checked.load_word(result_addr) == fast.load_word(base_addr)
+        assert checked.load_word(result_addr + 4) == fast.load_word(base_addr + 4)
+
+    def test_broad_instruction_coverage(self):
+        """The stress test exercises the instruction classes the paper
+        lists: ALU, shifts, extensions, mul/div, all load/store widths,
+        compares, calls and indirect jumps."""
+        base = assemble(parse(stress_test_source()))
+        core = FastCore(base, collect_histogram=True)
+        result = core.run()
+        mnemonics = {op.name.lower() for op in result.op_histogram}
+        for required in ("mul", "mulu", "div", "divu", "lwz", "lhz", "lhs",
+                         "lbz", "lbs", "sw", "sh", "sb", "jal", "jr", "bf",
+                         "bnf", "exths", "extbs", "sll", "sra", "j"):
+            assert required in mnemonics, required
+
+    def test_stress_uses_most_registers(self):
+        base = assemble(parse(stress_test_source()))
+        core = FastCore(base)
+        core.run()
+        nonzero = sum(1 for value in core.regs[1:] if value != 0)
+        assert nonzero >= 25
+
+
+class TestDetectionLatencyClaims:
+    """Sec 4.2's ordering: computation errors are caught at the faulty
+    instruction; dataflow/control-flow errors by the next block boundary;
+    stored-memory errors only at the next load of the bad word."""
+
+    def test_computation_immediate(self, campaign):
+        result = campaign.run_experiment(
+            FaultSpec("ex.alu.result", 1 << 9), PERMANENT, inject_at=0)
+        assert result.detected
+        assert result.latency_instructions <= 2
+
+    def test_control_flow_within_two_blocks(self, campaign):
+        result = campaign.run_experiment(
+            FaultSpec("ctl.btarget", 1 << 6), PERMANENT, inject_at=0)
+        assert result.detected
+        assert result.latency_blocks <= 2
+
+    def test_shs_damage_caught_at_block_end(self, campaign):
+        result = campaign.run_experiment(
+            FaultSpec("ex.shs_a", 1), PERMANENT, inject_at=0)
+        assert result.detected
+        assert result.checker == "dcs"
+        assert result.latency_blocks <= 1
+
+    def test_memory_latency_can_exceed_a_block(self, campaign):
+        result = campaign.run_experiment(
+            FaultSpec("lsu.store_data", 1 << 13), PERMANENT, inject_at=0)
+        if result.detected:  # value must be reloaded to be caught
+            assert result.checker in ("memory", "parity")
+
+
+class TestCampaignShape:
+    """Coarse Table 1 shape on a small sample: silent corruptions rare,
+    detected errors dominant among unmasked, plenty of masking."""
+
+    def test_transient_shape(self, campaign):
+        summary = campaign.run(experiments=150, duration=TRANSIENT)
+        fractions = summary.fractions()
+        assert fractions["unmasked_undetected"] < 0.06
+        assert fractions["unmasked_detected"] > 0.25
+        assert fractions["masked_undetected"] + fractions["masked_detected"] > 0.40
+        assert summary.unmasked_coverage > 0.90
+
+    def test_composition_of_checkers_needed(self, campaign):
+        """Sec 4.1.1: no single checker dominates completely - the
+        composition is what yields the coverage."""
+        summary = campaign.run(experiments=150, duration=TRANSIENT)
+        assert len(summary.checker_counts) >= 3
+        total = sum(summary.checker_counts.values())
+        assert max(summary.checker_counts.values()) / total < 0.8

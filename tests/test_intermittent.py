@@ -1,0 +1,103 @@
+"""Tests for the intermittent fault class (bursty marginal hardware)."""
+
+import pytest
+
+from repro.faults.campaign import Campaign
+from repro.faults.model import (
+    INTERMITTENT,
+    INTERMITTENT_BURST,
+    INTERMITTENT_PERIOD,
+    FaultSchedule,
+    FaultSpec,
+    PERMANENT,
+    TRANSIENT,
+)
+from repro.faults.injector import SignalInjector
+from repro.toolchain import embed_program
+
+SMALL = """
+start:  li   r1, 30
+        li   r2, 0
+        la   r6, buf
+loop:   add  r2, r2, r1
+        sw   r2, 0(r6)
+        addi r1, r1, -1
+        sfgtsi r1, 0
+        bf   loop
+        nop
+        halt
+        .data
+buf:    .word 0
+"""
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return Campaign(embedded=embed_program(SMALL), seed=2)
+
+
+class TestSchedule:
+    def test_burst_duty_cycle(self):
+        spec = FaultSpec("ex.alu.result", 1)
+        injector = SignalInjector(spec)
+        schedule = FaultSchedule(spec, INTERMITTENT, inject_at=10)
+        active_steps = []
+        for step in range(10, 10 + 2 * INTERMITTENT_PERIOD):
+            schedule.before_step(step, injector, None)
+            if injector.enabled:
+                active_steps.append(step)
+        assert len(active_steps) == 2 * INTERMITTENT_BURST
+        assert active_steps[0] == 10
+        assert active_steps[INTERMITTENT_BURST] == 10 + INTERMITTENT_PERIOD
+
+    def test_inactive_before_injection(self):
+        spec = FaultSpec("ex.alu.result", 1)
+        injector = SignalInjector(spec)
+        schedule = FaultSchedule(spec, INTERMITTENT, inject_at=50)
+        for step in range(50):
+            schedule.before_step(step, injector, None)
+            assert not injector.enabled
+
+    def test_transient_removed_on_divergence(self):
+        spec = FaultSpec("ex.alu.result", 1)
+        injector = SignalInjector(spec)
+        schedule = FaultSchedule(spec, TRANSIENT, inject_at=0)
+        schedule.before_step(0, injector, None)
+        assert injector.enabled
+        schedule.deactivate_on_divergence(injector)
+        schedule.before_step(1, injector, None)
+        assert not injector.enabled
+
+    def test_permanent_never_removed(self):
+        spec = FaultSpec("ex.alu.result", 1)
+        injector = SignalInjector(spec)
+        schedule = FaultSchedule(spec, PERMANENT, inject_at=0)
+        schedule.before_step(0, injector, None)
+        schedule.deactivate_on_divergence(injector)  # no-op for permanents
+        assert injector.enabled
+
+
+class TestIntermittentCampaign:
+    def test_intermittent_alu_fault_detected(self, campaign):
+        result = campaign.run_experiment(
+            FaultSpec("ex.alu.result", 1 << 5), INTERMITTENT, inject_at=5)
+        assert result.detected
+        assert not result.masked
+
+    def test_intermittent_checker_fault_is_dme(self, campaign):
+        result = campaign.run_experiment(
+            FaultSpec("chk.adder.sum", 1 << 3), INTERMITTENT, inject_at=0)
+        assert result.masked
+        assert result.detected
+
+    def test_intermittent_state_fault_reupsets_each_burst(self, campaign):
+        result = campaign.run_experiment(
+            FaultSpec("state.rf.value", 1 << 4, index=2, is_state=True),
+            INTERMITTENT, inject_at=3)
+        # r2 is the live accumulator: the repeated upsets must surface.
+        assert result.detected or not result.masked
+
+    def test_summary_runs_for_intermittent(self, campaign):
+        summary = campaign.run(experiments=25, duration=INTERMITTENT)
+        assert summary.total == 25
+        assert summary.duration == INTERMITTENT

@@ -1,0 +1,168 @@
+"""Unit tests for instruction encoding and spare-bit handling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import encoding
+from repro.isa.decode import decode
+from repro.isa.encoding import (
+    EncodingError,
+    encode,
+    get_spare_bits,
+    set_spare_bits,
+    spare_bit_positions,
+)
+from repro.isa.opcodes import ALU_FUNC, Cond, Op
+
+
+class TestEncodeFields:
+    def test_alu_register_fields(self):
+        word = encode(Op.ADD, rd=3, ra=4, rb=5)
+        assert (word >> 26) == 0x38
+        assert (word >> 21) & 0x1F == 3
+        assert (word >> 16) & 0x1F == 4
+        assert (word >> 11) & 0x1F == 5
+        assert word & 0x1F == ALU_FUNC[Op.ADD]
+
+    def test_each_alu_func_is_distinct(self):
+        words = {encode(op, rd=1, ra=2, rb=3) for op in ALU_FUNC}
+        assert len(words) == len(ALU_FUNC)
+
+    def test_addi_sign_extended_immediate(self):
+        word = encode(Op.ADDI, rd=1, ra=2, imm=-1)
+        assert word & 0xFFFF == 0xFFFF
+
+    def test_logical_immediate_is_unsigned(self):
+        word = encode(Op.ORI, rd=1, ra=2, imm=0xFFFF)
+        assert word & 0xFFFF == 0xFFFF
+        with pytest.raises(EncodingError):
+            encode(Op.ORI, rd=1, ra=2, imm=-1)
+
+    def test_store_offset_split_encoding(self):
+        word = encode(Op.SW, ra=2, rb=3, imm=-4)
+        instr = decode(word)
+        assert instr.imm == -4
+        assert instr.ra == 2
+        assert instr.rb == 3
+
+    def test_jump_offset_range(self):
+        encode(Op.J, offset=(1 << 25) - 1)
+        encode(Op.J, offset=-(1 << 25))
+        with pytest.raises(EncodingError):
+            encode(Op.J, offset=1 << 25)
+
+    def test_movhi_range(self):
+        assert encode(Op.MOVHI, rd=1, imm=0xFFFF) & 0xFFFF == 0xFFFF
+        with pytest.raises(EncodingError):
+            encode(Op.MOVHI, rd=1, imm=0x10000)
+
+    def test_shift_immediate_fields(self):
+        word = encode(Op.SRAI, rd=1, ra=2, shamt=31)
+        instr = decode(word)
+        assert instr.op is Op.SRAI
+        assert instr.shamt == 31
+
+    def test_shamt_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Op.SLLI, rd=1, ra=2, shamt=32)
+
+    def test_register_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Op.ADD, rd=32, ra=0, rb=0)
+
+    def test_compare_condition_encoded(self):
+        word = encode(Op.SF, ra=1, rb=2, cond=Cond.GTS)
+        instr = decode(word)
+        assert instr.cond == Cond.GTS
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(EncodingError):
+            encode("not-an-op")
+
+
+class TestSpareBits:
+    def test_alu_has_six_spare_bits(self):
+        assert len(spare_bit_positions(Op.ADD)) == 6
+
+    def test_loads_and_stores_have_no_spare_bits(self):
+        for op in (Op.LWZ, Op.LBS, Op.SW, Op.SB, Op.ADDI, Op.SFI):
+            assert spare_bit_positions(op) == ()
+
+    def test_sig_has_26_spare_bits(self):
+        assert len(spare_bit_positions(Op.SIG)) == 26
+
+    def test_jr_has_21_spare_bits(self):
+        assert len(spare_bit_positions(Op.JR)) == 21
+
+    def test_spare_positions_are_msb_first(self):
+        for op in (Op.ADD, Op.SIG, Op.JR, Op.SLLI, Op.NOP, Op.SF):
+            positions = spare_bit_positions(op)
+            assert list(positions) == sorted(positions, reverse=True)
+
+    def test_set_get_roundtrip(self):
+        word = encode(Op.ADD, rd=1, ra=2, rb=3)
+        payload = [1, 0, 1, 1, 0, 1]
+        out = set_spare_bits(word, Op.ADD, payload)
+        assert get_spare_bits(out, Op.ADD) == payload
+
+    def test_setting_spare_bits_preserves_decode(self):
+        word = encode(Op.ADD, rd=1, ra=2, rb=3)
+        out = set_spare_bits(word, Op.ADD, [1] * 6)
+        instr = decode(out)
+        assert (instr.op, instr.rd, instr.ra, instr.rb) == (Op.ADD, 1, 2, 3)
+
+    def test_payload_overflow_rejected(self):
+        word = encode(Op.ADD, rd=1, ra=2, rb=3)
+        with pytest.raises(EncodingError):
+            set_spare_bits(word, Op.ADD, [0] * 7)
+
+    def test_clearing_spare_bits(self):
+        word = set_spare_bits(encode(Op.ADD), Op.ADD, [1] * 6)
+        cleared = set_spare_bits(word, Op.ADD, [0] * 6)
+        assert get_spare_bits(cleared, Op.ADD) == [0] * 6
+
+
+_ENCODABLE = sorted(encoding._PRIMARY, key=lambda op: op.value)
+
+
+@given(
+    op=st.sampled_from(_ENCODABLE),
+    rd=st.integers(0, 31),
+    ra=st.integers(0, 31),
+    rb=st.integers(0, 31),
+    imm=st.integers(-0x8000, 0x7FFF),
+    shamt=st.integers(0, 31),
+    cond=st.sampled_from(list(Cond)),
+    offset=st.integers(-(1 << 25), (1 << 25) - 1),
+)
+def test_encode_decode_roundtrip(op, rd, ra, rb, imm, shamt, cond, offset):
+    """Property: decode(encode(x)) reproduces every architectural field."""
+    if op in (Op.ANDI, Op.ORI, Op.XORI):
+        imm = abs(imm)
+    word = encode(op, rd=rd, ra=ra, rb=rb, imm=imm, shamt=shamt,
+                  cond=int(cond), offset=offset)
+    instr = decode(word)
+    assert instr.op is op
+    fmt = encoding.op_format(op)
+    if fmt == "jump":
+        assert instr.offset == offset
+    elif fmt in ("load", "alui"):
+        assert (instr.rd, instr.ra) == (rd, ra)
+        assert instr.imm == (imm if op is not Op.ADDI else imm) or True
+        assert instr.imm == imm
+    elif fmt == "store":
+        assert (instr.ra, instr.rb, instr.imm) == (ra, rb, imm)
+    elif fmt == "alu":
+        assert (instr.rd, instr.ra) == (rd, ra)
+        if instr.reads_rb:
+            assert instr.rb == rb
+    elif fmt == "shifti":
+        assert (instr.rd, instr.ra, instr.shamt) == (rd, ra, shamt)
+    elif fmt == "sfi":
+        assert (instr.ra, instr.imm, instr.cond) == (ra, imm, int(cond))
+    elif fmt == "sf":
+        assert (instr.ra, instr.rb, instr.cond) == (ra, rb, int(cond))
+    elif fmt == "jr":
+        assert instr.rb == rb
+    elif fmt == "movhi":
+        assert (instr.rd, instr.imm) == (rd, imm & 0xFFFF)

@@ -1,0 +1,128 @@
+"""Tests for the object-file format and its integrity verification."""
+
+import json
+
+import pytest
+
+from repro.asm import assemble, parse
+from repro.cpu import CheckedCore, FastCore
+from repro.io import (
+    ObjFileError,
+    load_embedded,
+    load_program,
+    save_embedded,
+    save_program,
+)
+from repro.toolchain import embed_program
+
+SOURCE = """
+start:  li   r1, 6
+        li   r2, 0
+        la   r6, buf
+loop:   add  r2, r2, r1
+        sw   r2, 0(r6)
+        addi r1, r1, -1
+        sfgtsi r1, 0
+        bf   loop
+        nop
+        halt
+        .data
+buf:    .word 0
+"""
+
+
+class TestPlainRoundtrip:
+    def test_words_and_data_preserved(self, tmp_path):
+        program = assemble(parse(SOURCE))
+        path = tmp_path / "plain.aro"
+        save_program(program, path)
+        loaded = load_program(path)
+        assert loaded.words == program.words
+        assert bytes(loaded.data) == bytes(program.data)
+        assert loaded.labels == program.labels
+        assert loaded.entry == program.entry
+
+    def test_loaded_program_executes_identically(self, tmp_path):
+        program = assemble(parse(SOURCE))
+        path = tmp_path / "plain.aro"
+        save_program(program, path)
+        original = FastCore(program)
+        original.run()
+        reloaded = FastCore(load_program(path))
+        reloaded.run()
+        assert reloaded.regs == original.regs
+
+    def test_format_guard(self, tmp_path):
+        path = tmp_path / "bogus.aro"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ObjFileError):
+            load_program(path)
+
+    def test_version_guard(self, tmp_path):
+        program = assemble(parse(SOURCE))
+        path = tmp_path / "plain.aro"
+        save_program(program, path)
+        payload = json.loads(path.read_text())
+        payload["version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ObjFileError):
+            load_program(path)
+
+
+class TestEmbeddedRoundtrip:
+    def test_metadata_rederived(self, tmp_path):
+        embedded = embed_program(SOURCE)
+        path = tmp_path / "embedded.aro"
+        save_embedded(embedded, path)
+        loaded = load_embedded(path)
+        assert loaded.entry_dcs == embedded.entry_dcs
+        assert list(loaded.blocks) == list(embedded.blocks)
+        for address in embedded.blocks:
+            assert loaded.blocks[address].dcs == embedded.blocks[address].dcs
+            assert loaded.blocks[address].fields == embedded.blocks[address].fields
+        assert loaded.base_words == embedded.base_words
+        assert loaded.sigs_added == embedded.sigs_added
+
+    def test_loaded_embedded_runs_checked(self, tmp_path):
+        embedded = embed_program(SOURCE)
+        path = tmp_path / "embedded.aro"
+        save_embedded(embedded, path)
+        core = CheckedCore(load_embedded(path), detect=True)
+        result = core.run()
+        assert result.halted
+        assert core.reg(2) == 21
+
+    def test_plain_object_rejected_as_embedded(self, tmp_path):
+        program = assemble(parse(SOURCE))
+        path = tmp_path / "plain.aro"
+        save_program(program, path)
+        with pytest.raises(ObjFileError):
+            load_embedded(path)
+
+    def test_tampered_payload_rejected(self, tmp_path):
+        embedded = embed_program(SOURCE)
+        path = tmp_path / "embedded.aro"
+        save_embedded(embedded, path)
+        payload = json.loads(path.read_text())
+        # Flip an instruction bit inside the loop block (a branch target,
+        # so its DCS is referenced by the embedded payload).
+        loop_index = (embedded.program.addr_of("loop")
+                      - embedded.program.text_base) // 4
+        word = int(payload["words"][loop_index], 16) ^ (1 << 18)
+        payload["words"][loop_index] = "0x%08x" % word
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ObjFileError):
+            load_embedded(path)
+
+    def test_tampered_entry_block_rejected_via_header(self, tmp_path):
+        embedded = embed_program(SOURCE)
+        path = tmp_path / "embedded.aro"
+        save_embedded(embedded, path)
+        payload = json.loads(path.read_text())
+        # The entry block's DCS has no in-binary reference; the header
+        # entry_dcs is what catches tampering there.
+        word = int(payload["words"][0], 16) ^ (1 << 18)
+        payload["words"][0] = "0x%08x" % word
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ObjFileError):
+            load_embedded(path)

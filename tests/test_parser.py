@@ -1,0 +1,151 @@
+"""Unit tests for the assembly parser and pseudo-instruction expansion."""
+
+import pytest
+
+from repro.asm.ir import Directive, Imm, Insn, Label, Mem, Reg, Sym
+from repro.asm.parser import AsmSyntaxError, parse
+
+
+def single(source):
+    stmts = parse(source)
+    assert len(stmts) == 1
+    return stmts[0]
+
+
+class TestBasicParsing:
+    def test_three_register_instruction(self):
+        stmt = single("add r1, r2, r3")
+        assert stmt.mnemonic == "add"
+        assert stmt.operands == (Reg(1), Reg(2), Reg(3))
+
+    def test_label_then_instruction_same_line(self):
+        stmts = parse("loop: addi r1, r1, -1")
+        assert isinstance(stmts[0], Label) and stmts[0].name == "loop"
+        assert isinstance(stmts[1], Insn)
+
+    def test_label_alone(self):
+        stmt = single("done:")
+        assert isinstance(stmt, Label)
+
+    def test_consecutive_labels(self):
+        stmts = parse("a:\nb: nop")
+        assert [s.name for s in stmts[:2]] == ["a", "b"]
+
+    def test_comments_stripped(self):
+        assert single("nop # trailing").mnemonic == "nop"
+        assert parse("# whole line\n; also this") == []
+
+    def test_hex_and_negative_immediates(self):
+        stmt = single("addi r1, r0, -42")
+        assert stmt.operands[2] == Imm(-42)
+        stmt = single("ori r1, r0, 0xBEEF")
+        assert stmt.operands[2] == Imm(0xBEEF)
+
+    def test_memory_operand(self):
+        stmt = single("lwz r1, 8(r2)")
+        assert stmt.operands[1] == Mem(Imm(8), Reg(2))
+
+    def test_memory_operand_negative_offset(self):
+        stmt = single("sw r1, -4(sp)")
+        assert stmt.operands[1] == Mem(Imm(-4), Reg(1))
+
+    def test_memory_operand_symbolic_offset(self):
+        stmt = single("lwz r1, buf(r0)")
+        assert stmt.operands[1] == Mem(Sym("buf"), Reg(0))
+
+    def test_register_aliases(self):
+        assert single("jr lr").operands == (Reg(9),)
+        assert single("add r1, sp, zero").operands == (Reg(1), Reg(1), Reg(0))
+
+    def test_hi_lo_modifiers(self):
+        stmt = single("movhi r1, %hi(label)")
+        assert stmt.operands[1] == Sym("label", "hi")
+        stmt = single("ori r1, r1, %lo(label)")
+        assert stmt.operands[2] == Sym("label", "lo")
+
+    def test_hi_lo_on_constants_folds(self):
+        stmt = single("movhi r1, %hi(0x12345678)")
+        assert stmt.operands[1] == Imm(0x1234)
+        stmt = single("ori r1, r1, %lo(0x12345678)")
+        assert stmt.operands[2] == Imm(0x5678)
+
+    def test_bad_operand_raises_with_line(self):
+        with pytest.raises(AsmSyntaxError) as err:
+            parse("nop\nadd r1, 1+2, r3")
+        assert "line 2" in str(err.value)
+
+
+class TestDirectives:
+    def test_word_directive(self):
+        stmt = single(".word 1, 2, 3")
+        assert isinstance(stmt, Directive)
+        assert stmt.args == (Imm(1), Imm(2), Imm(3))
+
+    def test_word_with_label_reference(self):
+        stmt = single(".word target")
+        assert stmt.args == (Sym("target"),)
+
+    def test_codeptr(self):
+        stmt = single(".codeptr handler")
+        assert stmt.name == "codeptr"
+
+    def test_ascii(self):
+        stmt = single('.ascii "hi"')
+        assert stmt.args == (b"hi",)
+
+    def test_asciz_appends_nul(self):
+        stmt = single('.asciz "hi"')
+        assert stmt.args == (b"hi\0",)
+
+    def test_sections(self):
+        stmts = parse(".text\nnop\n.data\n.word 1")
+        assert stmts[0].name == "text"
+        assert stmts[2].name == "data"
+
+
+class TestPseudoExpansion:
+    def test_li_small_becomes_addi(self):
+        stmt = single("li r5, 100")
+        assert stmt.mnemonic == "addi"
+        assert stmt.operands == (Reg(5), Reg(0), Imm(100))
+
+    def test_li_negative_small(self):
+        stmt = single("li r5, -1")
+        assert stmt.mnemonic == "addi"
+
+    def test_li_large_becomes_movhi_ori(self):
+        stmts = parse("li r5, 0x12345678")
+        assert [s.mnemonic for s in stmts] == ["movhi", "ori"]
+        assert stmts[0].operands[1] == Imm(0x1234)
+        assert stmts[1].operands[2] == Imm(0x5678)
+
+    def test_li_large_round_skips_ori(self):
+        stmts = parse("li r5, 0x40000")
+        assert [s.mnemonic for s in stmts] == ["movhi"]
+
+    def test_la(self):
+        stmts = parse("la r5, buffer")
+        assert [s.mnemonic for s in stmts] == ["movhi", "ori"]
+        assert stmts[0].operands[1] == Sym("buffer", "hi")
+
+    def test_mov(self):
+        stmt = single("mov r1, r2")
+        assert stmt.mnemonic == "add"
+        assert stmt.operands == (Reg(1), Reg(2), Reg(0))
+
+    def test_ret(self):
+        stmt = single("ret")
+        assert stmt.mnemonic == "jr"
+        assert stmt.operands == (Reg(9),)
+
+    def test_b_and_call(self):
+        assert single("b loop").mnemonic == "j"
+        assert single("call fn").mnemonic == "jal"
+
+    def test_bad_pseudo_operands(self):
+        with pytest.raises(AsmSyntaxError):
+            parse("li r1, label")
+        with pytest.raises(AsmSyntaxError):
+            parse("mov r1, 5")
+        with pytest.raises(AsmSyntaxError):
+            parse("ret r1")

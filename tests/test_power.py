@@ -1,0 +1,59 @@
+"""Tests for the activity-based power model (the paper's future work)."""
+
+import pytest
+
+from repro.area.components import core_overhead
+from repro.area.power import activity_fractions, estimate_power, estimate_suite
+from repro.isa.opcodes import Op
+from repro.workloads import WORKLOADS
+
+
+class TestActivityFractions:
+    def test_fractions_from_histogram(self):
+        histogram = {Op.ADD: 50, Op.MUL: 10, Op.LWZ: 20, Op.SF: 10,
+                     Op.BF: 10}
+        fractions = activity_fractions(histogram, 100)
+        assert fractions["alu"] == pytest.approx(0.5)
+        assert fractions["muldiv"] == pytest.approx(0.1)
+        assert fractions["mem"] == pytest.approx(0.2)
+        assert fractions["compare"] == pytest.approx(0.1)
+        assert fractions["block_end"] == pytest.approx(0.1)
+        assert fractions["always"] == 1.0
+
+    def test_combined_classes(self):
+        histogram = {Op.SLL: 30, Op.SW: 20, Op.ADD: 10}
+        fractions = activity_fractions(histogram, 60)
+        assert fractions["shift_or_mem"] == pytest.approx(50 / 60)
+        # Register shifts count as ALU work too (they share the unit).
+        assert fractions["alu_or_mem"] == pytest.approx(60 / 60)
+
+    def test_empty_run_rejected(self):
+        with pytest.raises(ValueError):
+            activity_fractions({}, 0)
+
+
+class TestPowerEstimate:
+    def test_overhead_in_plausible_band(self):
+        """The paper conjectures a 'fairly low' overhead in line with the
+        ~17% area overhead; the activity model must land in that band."""
+        estimate = estimate_power(WORKLOADS["adpcm_enc"])
+        assert 0.08 < estimate.overhead < 0.25
+
+    def test_muldiv_heavy_workload_pays_more_checker_power(self):
+        """gsm's multiply-accumulate loop keeps the modulo checker hot."""
+        gsm = estimate_power(WORKLOADS["gsm"])
+        epic = estimate_power(WORKLOADS["epic"])  # add/shift only
+        assert gsm.class_fractions["muldiv"] > epic.class_fractions["muldiv"]
+
+    def test_suite_average(self):
+        subset = [WORKLOADS[name] for name in ("adpcm_enc", "rasta")]
+        estimates, average = estimate_suite(subset)
+        assert len(estimates) == 2
+        assert average == pytest.approx(
+            sum(e.overhead for e in estimates) / 2)
+
+    def test_power_overhead_tracks_area_overhead(self):
+        """Checker hardware is never *more* active than its host units,
+        so power overhead cannot exceed the area overhead by much."""
+        estimate = estimate_power(WORKLOADS["pegwit"])
+        assert estimate.overhead < core_overhead() * 1.3

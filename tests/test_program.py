@@ -1,0 +1,51 @@
+"""Unit tests for the Program container and memory-image loading."""
+
+import pytest
+
+from repro.asm import assemble, parse
+from repro.asm.program import default_data_base
+from repro.mem.main import MainMemory
+
+SOURCE = """
+start:  li r1, 1
+        halt
+        .data
+v:      .word 0xCAFEBABE
+b:      .byte 0x5A
+"""
+
+
+class TestProgram:
+    def test_load_into_memory(self):
+        program = assemble(parse(SOURCE))
+        memory = MainMemory()
+        program.load_into(memory)
+        assert memory.read_word(program.text_base) == program.words[0]
+        assert memory.read_word(program.addr_of("v")) == 0xCAFEBABE
+        assert memory.read_byte(program.addr_of("b")) == 0x5A
+
+    def test_footprint(self):
+        program = assemble(parse(SOURCE))
+        text_bytes, data_bytes = program.footprint()
+        assert text_bytes == 4 * len(program.words)
+        assert data_bytes == len(program.data)
+
+    def test_text_end(self):
+        program = assemble(parse("nop\nhalt"))
+        assert program.text_end == program.text_base + 8
+
+    def test_repr_mentions_entry(self):
+        program = assemble(parse(SOURCE))
+        assert "entry" in repr(program)
+
+    def test_default_data_base_aligned(self):
+        assert default_data_base(0x1000, 100) % 256 == 0
+        assert default_data_base(0x1000, 100) >= 0x1000 + 100
+
+    def test_default_data_base_range_check(self):
+        with pytest.raises(ValueError):
+            default_data_base(0x7FFFF00, 0x1000)
+
+    def test_lines_map_to_source(self):
+        program = assemble(parse("nop\n\nhalt"))
+        assert program.lines == [1, 3]

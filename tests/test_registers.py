@@ -1,0 +1,54 @@
+"""Unit tests for register conventions and DCS-tagged pointers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import registers
+
+
+class TestConventions:
+    def test_special_registers(self):
+        assert registers.ZERO_REG == 0
+        assert registers.LINK_REG == 9
+        assert registers.STACK_POINTER == 1
+
+    def test_aliases(self):
+        assert registers.parse_reg("lr") == 9
+        assert registers.parse_reg("SP") == 1
+        assert registers.parse_reg("zero") == 0
+        assert registers.parse_reg("r17") == 17
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            registers.parse_reg("r32")
+
+    def test_reg_name(self):
+        assert registers.reg_name(9) == "r9"
+
+
+class TestTaggedPointers:
+    def test_pack_and_split(self):
+        pointer = registers.pack_pointer(0x123456, 0x1F)
+        assert registers.pointer_address(pointer) == 0x123456
+        assert registers.pointer_dcs(pointer) == 0x1F
+
+    def test_zero_tag(self):
+        assert registers.pack_pointer(0x4, 0) == 0x4
+
+    def test_address_range_enforced(self):
+        registers.pack_pointer(registers.ADDR_MASK, 0)
+        with pytest.raises(ValueError):
+            registers.pack_pointer(1 << registers.ADDR_BITS, 0)
+
+    def test_dcs_range_enforced(self):
+        with pytest.raises(ValueError):
+            registers.pack_pointer(0, 32)
+
+
+@given(address=st.integers(0, registers.ADDR_MASK),
+       dcs=st.integers(0, 31))
+def test_pack_roundtrip(address, dcs):
+    pointer = registers.pack_pointer(address, dcs)
+    assert registers.pointer_address(pointer) == address
+    assert registers.pointer_dcs(pointer) == dcs
+    assert pointer <= 0xFFFFFFFF

@@ -1,0 +1,140 @@
+"""Unit tests for phase 1: block segmentation and Signature insertion."""
+
+import pytest
+
+from repro.asm.ir import Imm, Insn
+from repro.asm.parser import parse
+from repro.toolchain.segment import (
+    SegmentationError,
+    insert_signatures,
+    plan_blocks,
+)
+
+
+class TestPlanBlocks:
+    def test_single_halt_block(self):
+        plans = plan_blocks(parse("start: nop\nhalt"))
+        assert len(plans) == 1
+        assert plans[0].kind == "halt"
+        assert not plans[0].needs_terminator_sig
+
+    def test_branch_block_includes_delay_slot(self):
+        plans = plan_blocks(parse("loop: addi r1, r1, -1\nbf loop\nnop\nhalt"))
+        assert plans[0].kind == "cond"
+        assert len(plans[0].insn_indices) == 3  # addi + bf + nop
+
+    def test_kinds(self):
+        source = """
+            j a
+            nop
+a:          jal f
+            nop
+            jr r9
+            nop
+f:          jalr r5
+            nop
+            halt
+        """
+        plans = plan_blocks(parse(source))
+        assert [p.kind for p in plans] == [
+            "jump", "call", "indirect", "indirect_call", "halt"]
+
+    def test_label_creates_fallthrough_boundary(self):
+        plans = plan_blocks(parse("addi r1, r1, 1\ntarget: nop\nhalt"))
+        assert plans[0].kind == "fallthrough"
+        assert plans[0].needs_terminator_sig
+
+    def test_max_block_split(self):
+        source = "\n".join(["addi r1, r1, 1"] * 30) + "\nhalt"
+        plans = plan_blocks(parse(source), max_block=10)
+        assert plans[0].kind == "fallthrough"
+        assert len(plans[0].insn_indices) == 10
+
+    def test_capacity_analysis_alu_block_fits(self):
+        # Six ALU ops provide 36 spare bits + nop delay slot: plenty.
+        source = "\n".join(["add r1, r1, r2"] * 6) + "\nbf out\nnop\nout: halt"
+        plans = plan_blocks(parse(source))
+        assert not plans[0].needs_capacity_sig
+
+    def test_capacity_analysis_loadstore_block_needs_sig(self):
+        # Loads/stores/immediates have zero spare bits; a conditional
+        # terminal needs 10 payload bits.
+        source = """
+            lwz r1, 0(r2)
+            sw  r1, 4(r2)
+            bf  out
+            lwz r3, 8(r2)
+out:        halt
+        """
+        plans = plan_blocks(parse(source))
+        assert plans[0].needs_capacity_sig
+
+    def test_delay_slot_branch_rejected(self):
+        with pytest.raises(SegmentationError):
+            plan_blocks(parse("j a\nj a\na: halt"))
+
+    def test_delay_slot_label_rejected(self):
+        with pytest.raises(SegmentationError):
+            plan_blocks(parse("j a\na: nop\nhalt"))
+
+    def test_trailing_code_rejected(self):
+        with pytest.raises(SegmentationError):
+            plan_blocks(parse("nop\nnop"))
+
+    def test_missing_delay_slot_rejected(self):
+        with pytest.raises(SegmentationError):
+            plan_blocks(parse("nop\nj somewhere"))
+
+    def test_explicit_sig_rejected(self):
+        with pytest.raises(SegmentationError):
+            plan_blocks(parse("sig\nhalt"))
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(SegmentationError):
+            plan_blocks(parse(".data\n.word 1"))
+
+
+class TestInsertSignatures:
+    def test_fallthrough_gets_terminator(self):
+        stmts, terminators, capacity = insert_signatures(
+            parse("addi r1, r1, 1\ntarget: nop\nhalt"))
+        assert terminators == 1
+        assert capacity == 0
+        sigs = [s for s in stmts if isinstance(s, Insn) and s.mnemonic == "sig"]
+        assert len(sigs) == 1
+        assert sigs[0].operands == (Imm(1),)
+
+    def test_capacity_sig_placed_before_terminal(self):
+        source = """
+            lwz r1, 0(r2)
+            bf  out
+            lwz r3, 8(r2)
+out:        halt
+        """
+        stmts, terminators, capacity = insert_signatures(parse(source))
+        assert capacity == 1
+        mnemonics = [s.mnemonic for s in stmts if isinstance(s, Insn)]
+        bf_at = mnemonics.index("bf")
+        assert mnemonics[bf_at - 1] == "sig"
+
+    def test_original_statements_not_mutated(self):
+        stmts = parse("addi r1, r1, 1\ntarget: nop\nhalt")
+        before = len(stmts)
+        insert_signatures(stmts)
+        assert len(stmts) == before
+
+    def test_branch_blocks_with_capacity_untouched(self):
+        source = "add r1, r1, r2\nadd r3, r3, r4\nj out\nnop\nout: halt"
+        __, terminators, capacity = insert_signatures(parse(source))
+        assert capacity == 0
+
+    def test_size_split_inserts_terminators(self):
+        source = "\n".join(["add r1, r1, r2"] * 25) + "\nhalt"
+        __, terminators, __cap = insert_signatures(parse(source), max_block=10)
+        assert terminators == 2  # 25 instructions -> splits at 10 and 20
+
+    def test_insertion_is_idempotent_per_input(self):
+        stmts = parse("addi r1, r1, 1\ntarget: nop\nhalt")
+        a, *_ = insert_signatures(stmts)
+        b, *_ = insert_signatures(stmts)
+        assert [str(s) for s in a] == [str(s) for s in b]

@@ -1,0 +1,162 @@
+"""Unit + property tests for the architectural arithmetic semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.opcodes import Cond, Op
+from repro.isa.semantics import (
+    alu_execute,
+    divide,
+    evaluate_condition,
+    mul64,
+    sign_extend_load,
+    to_signed,
+)
+
+WORDS = st.integers(0, 0xFFFFFFFF)
+
+
+class TestAluOps:
+    def test_add_wraps(self):
+        assert alu_execute(Op.ADD, 0xFFFFFFFF, 1) == 0
+
+    def test_sub_wraps(self):
+        assert alu_execute(Op.SUB, 0, 1) == 0xFFFFFFFF
+
+    def test_logic(self):
+        assert alu_execute(Op.AND, 0xF0F0, 0xFF00) == 0xF000
+        assert alu_execute(Op.OR, 0xF0F0, 0x0F0F) == 0xFFFF
+        assert alu_execute(Op.XOR, 0xFFFF, 0x00FF) == 0xFF00
+
+    def test_shifts(self):
+        assert alu_execute(Op.SLL, 1, 31) == 0x80000000
+        assert alu_execute(Op.SRL, 0x80000000, 31) == 1
+        assert alu_execute(Op.SRA, 0x80000000, 31) == 0xFFFFFFFF
+
+    def test_shift_amount_masked_to_5_bits(self):
+        assert alu_execute(Op.SLL, 1, 32) == 1
+        assert alu_execute(Op.SRL, 2, 33) == 1
+
+    def test_shift_immediates(self):
+        assert alu_execute(Op.SLLI, 3, shamt=4) == 48
+        assert alu_execute(Op.SRAI, 0xFFFFFFF0, shamt=2) == 0xFFFFFFFC
+
+    def test_extensions(self):
+        assert alu_execute(Op.EXTBS, 0x80) == 0xFFFFFF80
+        assert alu_execute(Op.EXTBZ, 0xFF80) == 0x80
+        assert alu_execute(Op.EXTHS, 0x8000) == 0xFFFF8000
+        assert alu_execute(Op.EXTHZ, 0x18000) == 0x8000
+
+    def test_mul_low_word(self):
+        assert alu_execute(Op.MUL, 0xFFFFFFFF, 2) == 0xFFFFFFFE  # -1*2 = -2
+
+    def test_non_alu_op_rejected(self):
+        with pytest.raises(Exception):
+            alu_execute(Op.J, 1, 2)
+
+
+class TestMul64:
+    def test_signed_product_bits(self):
+        assert mul64(Op.MUL, 0xFFFFFFFF, 0xFFFFFFFF) == 1  # (-1)*(-1)
+
+    def test_unsigned_product_bits(self):
+        assert mul64(Op.MULU, 0xFFFFFFFF, 0xFFFFFFFF) == 0xFFFFFFFE00000001
+
+    def test_upper_half_live_for_signed(self):
+        product = mul64(Op.MUL, 0x80000000, 2)  # -2^31 * 2 = -2^32
+        assert product == 0xFFFFFFFF00000000
+
+
+class TestDivide:
+    def test_truncation_toward_zero(self):
+        quotient, remainder = divide(Op.DIV, (-7) & 0xFFFFFFFF, 2)
+        assert to_signed(quotient) == -3
+        assert to_signed(remainder) == -1
+
+    def test_euclid_identity_holds(self):
+        a, b = (-100) & 0xFFFFFFFF, 7
+        quotient, remainder = divide(Op.DIV, a, b)
+        assert to_signed(quotient) * 7 + to_signed(remainder) == -100
+
+    def test_unsigned(self):
+        assert divide(Op.DIVU, 0xFFFFFFFF, 16) == (0x0FFFFFFF, 15)
+
+    def test_divide_by_zero_defined(self):
+        assert divide(Op.DIV, 123, 0) == (0, 123)
+        assert divide(Op.DIVU, 0xDEADBEEF, 0) == (0, 0xDEADBEEF)
+
+    def test_int_min_over_minus_one(self):
+        quotient, __ = divide(Op.DIV, 0x80000000, 0xFFFFFFFF)
+        assert quotient == 0x80000000  # wraps, as 32-bit hardware does
+
+
+class TestConditions:
+    @pytest.mark.parametrize("cond,a,b,expect", [
+        (Cond.EQ, 5, 5, True),
+        (Cond.NE, 5, 5, False),
+        (Cond.GTU, 0xFFFFFFFF, 1, True),
+        (Cond.GTS, 0xFFFFFFFF, 1, False),  # -1 > 1 is false signed
+        (Cond.LTS, 0x80000000, 0, True),  # INT_MIN < 0
+        (Cond.LTU, 0x80000000, 0, False),
+        (Cond.GES, 3, 3, True),
+        (Cond.LES, 4, 3, False),
+        (Cond.GEU, 0, 0, True),
+        (Cond.LEU, 1, 2, True),
+    ])
+    def test_condition_table(self, cond, a, b, expect):
+        assert evaluate_condition(cond, a, b) is expect
+
+
+class TestLoadExtension:
+    def test_lwz(self):
+        assert sign_extend_load(Op.LWZ, 0xDEADBEEF) == 0xDEADBEEF
+
+    def test_half(self):
+        assert sign_extend_load(Op.LHZ, 0x8000) == 0x8000
+        assert sign_extend_load(Op.LHS, 0x8000) == 0xFFFF8000
+
+    def test_byte(self):
+        assert sign_extend_load(Op.LBZ, 0x80) == 0x80
+        assert sign_extend_load(Op.LBS, 0x80) == 0xFFFFFF80
+
+
+# ---- hypothesis properties ------------------------------------------------
+
+@given(a=WORDS, b=WORDS)
+def test_add_sub_inverse(a, b):
+    assert alu_execute(Op.SUB, alu_execute(Op.ADD, a, b), b) == a
+
+
+@given(a=WORDS, b=WORDS)
+def test_xor_involution(a, b):
+    assert alu_execute(Op.XOR, alu_execute(Op.XOR, a, b), b) == a
+
+
+@given(a=WORDS, n=st.integers(0, 31))
+def test_left_shift_matches_python(a, n):
+    assert alu_execute(Op.SLL, a, n) == (a << n) & 0xFFFFFFFF
+
+
+@given(a=WORDS, b=WORDS)
+def test_mul_low_word_sign_independent(a, b):
+    """The low 32 bits of signed and unsigned products coincide."""
+    assert mul64(Op.MUL, a, b) & 0xFFFFFFFF == mul64(Op.MULU, a, b) & 0xFFFFFFFF
+
+
+@given(a=WORDS, b=st.integers(1, 0xFFFFFFFF))
+def test_divide_identity_signed(a, b):
+    quotient, remainder = divide(Op.DIV, a, b)
+    lhs = to_signed(b) * to_signed(quotient) + to_signed(remainder)
+    assert lhs & 0xFFFFFFFF == a
+
+
+@given(a=WORDS, b=st.integers(1, 0xFFFFFFFF))
+def test_divide_identity_unsigned(a, b):
+    quotient, remainder = divide(Op.DIVU, a, b)
+    assert (b * quotient + remainder) & 0xFFFFFFFF == a
+    assert remainder < b
+
+
+@given(value=WORDS)
+def test_signed_unsigned_roundtrip(value):
+    assert to_signed(value) & 0xFFFFFFFF == value
