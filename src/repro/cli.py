@@ -13,7 +13,10 @@ Commands:
   hot-block profile.
 * ``inject SOURCE --signal NAME --bit N [--at K]`` - run with one
   injected fault and report which checker (if any) detected it.
-* ``report [--experiments N]`` - the full paper-vs-measured report.
+* ``campaign [--workers N] [--journal PATH] [--resume]`` - parallel,
+  journaled fault-injection campaign with live telemetry (Table 1).
+* ``report [--experiments N] [--workers N]`` - the full
+  paper-vs-measured report.
 
 Source files are embedded automatically where Argus metadata is needed.
 """
@@ -193,8 +196,53 @@ def cmd_fuzz(args):
 
 def cmd_report(args):
     from repro.eval.report import generate_report
+    from repro.runner.telemetry import LegacyPrintTelemetry
     generate_report(experiments=args.experiments,
-                    progress=max(args.experiments // 4, 1))
+                    telemetry=LegacyPrintTelemetry(max(args.experiments // 4, 1)),
+                    workers=args.workers)
+    return 0
+
+
+def cmd_campaign(args):
+    """First-class campaign runner: parallel, journaled, resumable."""
+    import json
+
+    from repro.eval.detectors import format_attribution
+    from repro.faults.campaign import Campaign
+    from repro.faults.model import PERMANENT, TRANSIENT
+    from repro.runner.telemetry import NullTelemetry, StderrTelemetry
+
+    durations = ((TRANSIENT, PERMANENT) if args.duration == "both"
+                 else (args.duration,))
+    campaign = Campaign(seed=args.seed)
+    telemetry = NullTelemetry() if args.quiet else StderrTelemetry()
+    dump = {}
+    for duration in durations:
+        summary = campaign.run(
+            experiments=args.experiments, duration=duration,
+            workers=args.workers, journal=args.journal, resume=args.resume,
+            telemetry=telemetry, keep_results=False, timeout=args.timeout)
+        fractions = summary.fractions()
+        print("[%s] %d experiments" % (duration, summary.total))
+        print("  silent %.2f%% | unmasked+detected %.2f%% | "
+              "masked+undetected %.2f%% | DME %.2f%%" % (
+                  100 * fractions["unmasked_undetected"],
+                  100 * fractions["unmasked_detected"],
+                  100 * fractions["masked_undetected"],
+                  100 * fractions["masked_detected"]))
+        print("  " + format_attribution(summary).replace("\n", "\n  "))
+        dump[duration] = {
+            "experiments": summary.total,
+            "fractions": fractions,
+            "checker_counts": summary.checker_counts,
+            "unmasked_coverage": summary.unmasked_coverage,
+            "masked_detection_rate": summary.masked_detection_rate,
+        }
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump({"seed": args.seed, "summaries": dump}, handle,
+                      indent=2, sort_keys=True)
+        print("wrote %s" % args.json)
     return 0
 
 
@@ -259,7 +307,31 @@ def build_parser():
 
     p = sub.add_parser("report", help="full paper-vs-measured report")
     p.add_argument("--experiments", type=int, default=800)
+    p.add_argument("--workers", type=int, default=None,
+                   help="campaign worker processes (0 = one per CPU)")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "campaign",
+        help="parallel, journaled fault-injection campaign (Table 1)")
+    p.add_argument("--experiments", type=int, default=400,
+                   help="experiments per error-type row")
+    p.add_argument("--duration", default="both",
+                   choices=("transient", "permanent", "both"))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (0 = one per CPU, 1 = in-process)")
+    p.add_argument("--journal",
+                   help="append-only JSONL result journal (crash-safe)")
+    p.add_argument("--resume", action="store_true",
+                   help="skip experiments already in the journal")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="seconds per experiment before a worker batch "
+                        "is considered hung")
+    p.add_argument("--json", help="write a machine-readable summary here")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress live progress telemetry on stderr")
+    p.set_defaults(func=cmd_campaign)
 
     return parser
 

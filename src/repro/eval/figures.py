@@ -39,12 +39,14 @@ class FigureSeries:
         return "\n".join(lines)
 
 
-def run_figures(workloads=None):
+def run_figures(workloads=None, workers=None):
     """Measure the suite under both cache configs; returns the 3 series
-    plus the static-overhead series the Fig. 5 discussion references."""
+    plus the static-overhead series the Fig. 5 discussion references.
+    ``workers`` fans the per-workload measurements out across processes
+    (see :func:`repro.workloads.runner.measure_suite`)."""
     workloads = list(workloads if workloads is not None else ALL_WORKLOADS)
-    one_way = measure_suite(workloads, ways=1)
-    two_way = measure_suite(workloads, ways=2)
+    one_way = measure_suite(workloads, ways=1, workers=workers)
+    two_way = measure_suite(workloads, ways=2, workers=workers)
     fig5 = FigureSeries(
         "Figure 5: dynamic instruction overhead",
         {m.name: m.dynamic_overhead for m in one_way},

@@ -22,8 +22,14 @@ from repro.faults.model import PERMANENT, TRANSIENT
 
 
 def generate_report(experiments=800, seed=0, stream=sys.stdout, progress=None,
-                    workloads=None):
-    """Run the complete evaluation; writes the report to ``stream``."""
+                    workloads=None, telemetry=None, workers=None):
+    """Run the complete evaluation; writes the report to ``stream``.
+
+    ``workers`` fans the Table 1 campaigns and the Figure 5-7
+    measurements out across processes; ``telemetry`` takes a
+    :mod:`repro.runner.telemetry` sink (``progress=N`` is the deprecated
+    print-every-N alias).
+    """
     def emit(text=""):
         print(text, file=stream)
 
@@ -34,7 +40,9 @@ def generate_report(experiments=800, seed=0, stream=sys.stdout, progress=None,
     emit("=" * 72)
 
     emit("\n--- Table 1: error injection (%d experiments per row) ---" % experiments)
-    rows, summaries = run_table1(experiments=experiments, seed=seed, progress=progress)
+    rows, summaries = run_table1(experiments=experiments, seed=seed,
+                                 progress=progress, telemetry=telemetry,
+                                 workers=workers)
     emit(format_table1(rows))
 
     emit("\n--- Sec 4.1.1: detection attribution (transient campaign) ---")
@@ -53,7 +61,7 @@ def generate_report(experiments=800, seed=0, stream=sys.stdout, progress=None,
     emit(format_table2())
 
     emit("\n--- Figures 5-7: MediaBench-like overheads ---")
-    for series in run_figures(workloads=workloads):
+    for series in run_figures(workloads=workloads, workers=workers):
         emit(series.formatted())
         emit("")
 
@@ -81,13 +89,18 @@ def generate_report(experiments=800, seed=0, stream=sys.stdout, progress=None,
 
 
 def main(argv=None):
+    from repro.runner.telemetry import LegacyPrintTelemetry
+
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--experiments", type=int, default=800,
                         help="fault-injection experiments per error type")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="campaign worker processes (0 = one per CPU)")
     args = parser.parse_args(argv)
     generate_report(experiments=args.experiments, seed=args.seed,
-                    progress=max(args.experiments // 4, 1))
+                    telemetry=LegacyPrintTelemetry(max(args.experiments // 4, 1)),
+                    workers=args.workers)
 
 
 if __name__ == "__main__":

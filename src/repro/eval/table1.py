@@ -24,10 +24,18 @@ class Table1Row:
         return "%-10s %s" % (self.error_type, "  ".join(cells))
 
 
-def run_table1(experiments=1000, seed=0, progress=None):
-    """Run both campaigns; returns (rows, summaries)."""
+def run_table1(experiments=1000, seed=0, progress=None, telemetry=None,
+               workers=None, journal=None, resume=False):
+    """Run both campaigns; returns (rows, summaries).
+
+    ``workers``/``journal``/``resume`` select the parallel execution
+    engine (:mod:`repro.runner`); ``progress`` is the deprecated alias
+    for ``telemetry`` (see :mod:`repro.runner.telemetry`).
+    """
     campaign = Campaign(seed=seed)
-    summaries = campaign.run_both(experiments=experiments, progress=progress)
+    summaries = campaign.run_both(experiments=experiments, progress=progress,
+                                  telemetry=telemetry, workers=workers,
+                                  journal=journal, resume=resume)
     rows = []
     for duration in (TRANSIENT, PERMANENT):
         rows.append(Table1Row(

@@ -62,7 +62,14 @@ class ExperimentResult:
 
 @dataclass
 class CampaignSummary:
-    """Aggregated campaign results in the shape of Table 1."""
+    """Aggregated campaign results in the shape of Table 1.
+
+    With ``keep_results=False`` the summary runs in streaming mode: it
+    aggregates only the quadrant and per-checker counters and drops the
+    individual :class:`ExperimentResult` objects, so million-experiment
+    campaigns (and the parallel engine, which defaults to streaming for
+    its CLI paths) hold O(1) memory instead of O(experiments).
+    """
 
     duration: str
     total: int = 0
@@ -72,6 +79,7 @@ class CampaignSummary:
     masked_detected: int = 0  # DME
     checker_counts: dict = field(default_factory=dict)
     results: list = field(default_factory=list)
+    keep_results: bool = True
 
     def add(self, result):
         self.total += 1
@@ -80,7 +88,25 @@ class CampaignSummary:
             self.checker_counts[result.checker] = (
                 self.checker_counts.get(result.checker, 0) + 1
             )
-        self.results.append(result)
+        if self.keep_results:
+            self.results.append(result)
+
+    def merge(self, other):
+        """Fold another summary (e.g. a worker shard) into this one."""
+        if other.duration != self.duration:
+            raise ValueError("cannot merge %r summary into %r"
+                             % (other.duration, self.duration))
+        self.total += other.total
+        for quadrant in ("unmasked_undetected", "unmasked_detected",
+                         "masked_undetected", "masked_detected"):
+            setattr(self, quadrant,
+                    getattr(self, quadrant) + getattr(other, quadrant))
+        for checker, count in other.checker_counts.items():
+            self.checker_counts[checker] = (
+                self.checker_counts.get(checker, 0) + count)
+        if self.keep_results:
+            self.results.extend(other.results)
+        return self
 
     def fractions(self):
         """Quadrant fractions (of all injections), as Table 1 reports."""
@@ -115,6 +141,7 @@ class Campaign:
     def __init__(self, embedded=None, seed=0, run_slack=1.25,
                  include_double_bits=True):
         self.embedded = embedded if embedded is not None else build_stress_program()
+        self.seed = seed
         self.rng = random.Random(seed)
         self.points = build_point_population(include_double_bits=include_double_bits)
         self.run_slack = run_slack
@@ -247,22 +274,78 @@ class Campaign:
             hung=hung1 or hung2,
         )
 
+    def run_planned(self, planned):
+        """Run one :class:`~repro.runner.plan.PlannedExperiment`.
+
+        Every random choice (the injection instruction index) comes from
+        the experiment's own derived seed, never from the campaign's
+        shared stream, so the outcome depends only on the experiment's
+        identity - the keystone of worker-count-independent results.
+        """
+        rng = random.Random(planned.seed)
+        inject_at = rng.randrange(0, max(int(self.golden_length * 0.85), 1))
+        return self.run_experiment(planned.spec, planned.duration,
+                                   inject_at=inject_at)
+
     # -- whole campaign ------------------------------------------------------
-    def run(self, experiments=1000, duration=TRANSIENT, progress=None):
-        """Run ``experiments`` weighted-sampled injections of one duration."""
-        summary = CampaignSummary(duration=duration)
+    def run(self, experiments=1000, duration=TRANSIENT, progress=None,
+            workers=None, journal=None, resume=False, telemetry=None,
+            keep_results=True, timeout=None, retries=2):
+        """Run ``experiments`` weighted-sampled injections of one duration.
+
+        The default (``workers=None``, no journal) is the classic serial
+        path: experiments draw from the campaign's single RNG stream, so
+        repeated calls on one instance sample fresh experiments.
+
+        Passing ``workers`` (0 = one per CPU) or ``journal`` switches to
+        the planned engine (:mod:`repro.runner`): the experiment list is
+        derived deterministically from ``(self.seed, duration)``, fanned
+        out across worker processes, optionally journaled for
+        crash-safe ``resume``, and aggregated in plan order - the same
+        arguments always produce bit-identical summaries for any worker
+        count.  ``progress=N`` (deprecated) and ``telemetry=`` feed a
+        :mod:`repro.runner.telemetry` sink on both paths.
+        """
+        from repro.runner import execute_plan, plan_campaign
+        from repro.runner.telemetry import ProgressTracker, coerce_sink
+        from repro.runner.journal import result_to_record
+
+        if workers is not None or journal is not None:
+            plan = plan_campaign(self.points, experiments, duration,
+                                 seed=self.seed)
+            return execute_plan(
+                self, plan, workers=1 if workers is None else workers,
+                journal=journal, resume=resume,
+                telemetry=coerce_sink(progress=progress, telemetry=telemetry),
+                keep_results=keep_results, timeout=timeout, retries=retries)
+
+        sink = coerce_sink(progress=progress, telemetry=telemetry)
+        summary = CampaignSummary(duration=duration, keep_results=keep_results)
         sampled = sample_points(self.points, experiments, self.rng)
-        for i, point in enumerate(sampled):
-            summary.add(self.run_experiment(point.spec, duration))
-            if progress is not None and (i + 1) % progress == 0:
-                print("  [%s] %d/%d experiments" % (duration, i + 1, experiments))
+        tracker = ProgressTracker(sink, duration, experiments)
+        tracker.start()
+        for point in sampled:
+            result = self.run_experiment(point.spec, duration)
+            summary.add(result)
+            tracker.experiment(result_to_record(result))
+        tracker.finish()
         return summary
 
-    def run_both(self, experiments=1000, progress=None):
-        """Transient + permanent campaigns (the two rows of Table 1)."""
+    def run_both(self, experiments=1000, progress=None, workers=None,
+                 journal=None, resume=False, telemetry=None,
+                 keep_results=True, timeout=None, retries=2):
+        """Transient + permanent campaigns (the two rows of Table 1).
+
+        A single ``journal`` file holds both rows (experiment ids are
+        duration-prefixed), so one ``--resume`` covers the whole table.
+        """
         return {
-            TRANSIENT: self.run(experiments, TRANSIENT, progress),
-            PERMANENT: self.run(experiments, PERMANENT, progress),
+            duration: self.run(experiments, duration, progress=progress,
+                               workers=workers, journal=journal,
+                               resume=resume, telemetry=telemetry,
+                               keep_results=keep_results, timeout=timeout,
+                               retries=retries)
+            for duration in (TRANSIENT, PERMANENT)
         }
 
     def false_positive_check(self, runs=3):

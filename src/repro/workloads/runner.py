@@ -14,6 +14,15 @@ from repro.cpu import FastCore
 from repro.mem.hierarchy import MemoryConfig
 
 
+def _resolve_workers(workers, jobs):
+    """None -> serial; 0 -> one per CPU; else the requested count."""
+    if workers is None:
+        return 1
+    import os
+    count = (os.cpu_count() or 1) if workers == 0 else int(workers)
+    return max(1, min(count, jobs))
+
+
 @dataclass(frozen=True)
 class Measurement:
     """One workload's base-vs-embedded comparison."""
@@ -82,8 +91,26 @@ def measure_workload(workload, ways=1, max_instructions=50_000_000):
     )
 
 
-def measure_suite(workloads, ways=1):
-    """Measure a collection of workloads; returns a list of Measurements."""
+def measure_suite(workloads, ways=1, workers=None):
+    """Measure a collection of workloads; returns a list of Measurements.
+
+    With ``workers`` (0 = one per CPU) the per-workload measurements fan
+    out across a process pool - each workload is independent, so results
+    are returned in input order and identical to a serial run.  Falls
+    back to serial execution where process pools are unavailable.
+    """
+    workloads = list(workloads)
+    count = _resolve_workers(workers, len(workloads))
+    if count > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+        try:
+            with ProcessPoolExecutor(max_workers=count) as pool:
+                futures = [pool.submit(measure_workload, wl, ways)
+                           for wl in workloads]
+                return [future.result() for future in futures]
+        except (OSError, PermissionError, BrokenProcessPool):
+            pass  # sandboxed/fork-less environments: run serially below
     return [measure_workload(wl, ways=ways) for wl in workloads]
 
 

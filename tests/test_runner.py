@@ -1,0 +1,220 @@
+"""Unit tests for the repro.runner subsystem (plan, journal, telemetry)."""
+
+import io
+import json
+
+import pytest
+
+from repro.faults.campaign import CampaignSummary, ExperimentResult
+from repro.faults.model import PERMANENT, TRANSIENT, FaultSpec
+from repro.faults.points import build_point_population
+from repro.runner import (Journal, JournalError, JournalMismatch, derive_seed,
+                          plan_campaign, record_to_result, result_to_record)
+from repro.runner.telemetry import (EVENT_EXPERIMENT, EVENT_FINISH,
+                                    EVENT_START, CallbackTelemetry,
+                                    LegacyPrintTelemetry, NullTelemetry,
+                                    ProgressTracker, StderrTelemetry,
+                                    TelemetryEvent, coerce_sink)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return build_point_population()
+
+
+@pytest.fixture()
+def plan(points):
+    return plan_campaign(points, 12, TRANSIENT, seed=5)
+
+
+def _result(detected=True, masked=False, checker="parity"):
+    return ExperimentResult(
+        spec=FaultSpec("ex.op_a", 4), duration=TRANSIENT, inject_at=3,
+        masked=masked, detected=detected,
+        checker=checker if detected else None, detail="d",
+        activated_at=3, latency_instructions=1 if detected else None,
+        latency_cycles=2 if detected else None,
+        latency_blocks=0 if detected else None, hung=False)
+
+
+class TestPlan:
+    def test_derive_seed_is_stable_and_distinct(self):
+        assert derive_seed(0, TRANSIENT, 1) == derive_seed(0, TRANSIENT, 1)
+        seeds = {derive_seed(0, d, i)
+                 for d in (TRANSIENT, PERMANENT) for i in range(50)}
+        assert len(seeds) == 100  # no collisions across duration/index
+
+    def test_plan_is_deterministic(self, points):
+        a = plan_campaign(points, 20, TRANSIENT, seed=3)
+        b = plan_campaign(points, 20, TRANSIENT, seed=3)
+        assert a.experiments == b.experiments
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_plan_varies_with_seed_and_duration(self, points):
+        base = plan_campaign(points, 20, TRANSIENT, seed=3)
+        other_seed = plan_campaign(points, 20, TRANSIENT, seed=4)
+        other_dur = plan_campaign(points, 20, PERMANENT, seed=3)
+        assert base.fingerprint() != other_seed.fingerprint()
+        assert base.fingerprint() != other_dur.fingerprint()
+
+    def test_ids_are_duration_prefixed_and_ordered(self, plan):
+        assert plan.ids[0] == "transient/000000"
+        assert plan.ids == sorted(plan.ids)
+        assert len(plan) == 12
+
+    def test_shard_partitions_the_plan(self, plan):
+        shards = plan.shard(5)
+        flattened = sorted(
+            (exp.experiment_id for shard in shards for exp in shard))
+        assert flattened == plan.ids
+        assert all(shard for shard in shards)
+
+
+class TestRecords:
+    def test_result_record_roundtrip(self):
+        result = _result()
+        clone = record_to_result(result_to_record(result))
+        assert clone == result
+
+    def test_roundtrip_survives_json(self):
+        result = _result(detected=False, masked=True, checker=None)
+        record = json.loads(json.dumps(result_to_record(result)))
+        assert record_to_result(record) == result
+
+    def test_none_spec_roundtrip(self):
+        result = ExperimentResult(spec=None, duration=TRANSIENT, inject_at=0,
+                                  masked=True, detected=False)
+        assert record_to_result(result_to_record(result)) == result
+
+
+class TestJournal:
+    def test_append_and_reload(self, plan, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path).load()
+        journal.ensure_header({"seed": "5"})
+        journal.register_plan(plan)
+        journal.append_result(plan.ids[0], result_to_record(_result()))
+        journal.close()
+
+        reloaded = Journal(path).load()
+        assert reloaded.meta["seed"] == "5"
+        assert reloaded.plans[TRANSIENT] == plan.fingerprint()
+        assert reloaded.done_ids(plan) == [plan.ids[0]]
+
+    def test_torn_tail_is_tolerated(self, plan, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path).load()
+        journal.register_plan(plan)
+        journal.append_result(plan.ids[0], result_to_record(_result()))
+        journal.close()
+        with open(path, "a") as handle:
+            handle.write('{"kind": "result", "id": "transient/0000')  # kill!
+        reloaded = Journal(path).load()
+        assert len(reloaded.records) == 1
+
+    def test_mismatched_plan_is_rejected(self, points, plan, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path).load()
+        journal.register_plan(plan)
+        journal.close()
+        other = plan_campaign(points, 12, TRANSIENT, seed=6)
+        reloaded = Journal(path).load()
+        with pytest.raises(JournalMismatch):
+            reloaded.register_plan(other)
+
+    def test_same_plan_reregisters_cleanly(self, plan, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path).load()
+        journal.register_plan(plan)
+        journal.close()
+        Journal(path).load().register_plan(plan)  # no error, no new record
+        with open(path) as handle:
+            kinds = [json.loads(line)["kind"] for line in handle]
+        assert kinds.count("plan") == 1
+
+
+class TestTelemetry:
+    def _track(self, sink, total=4, detections=2):
+        tracker = ProgressTracker(sink, TRANSIENT, total)
+        tracker.start()
+        for i in range(total):
+            tracker.experiment(result_to_record(_result(detected=i < detections)))
+        tracker.finish()
+
+    def test_callback_receives_all_events(self):
+        events = []
+        self._track(CallbackTelemetry(events.append))
+        kinds = [event.kind for event in events]
+        assert kinds[0] == EVENT_START
+        assert kinds[-1] == EVENT_FINISH
+        assert kinds.count(EVENT_EXPERIMENT) == 4
+        assert events[-1].checker_counts == {"parity": 2}
+        assert events[-1].completed == 4
+
+    def test_legacy_print_matches_old_format(self):
+        stream = io.StringIO()
+        self._track(LegacyPrintTelemetry(2, stream=stream))
+        assert stream.getvalue() == (
+            "  [transient] 2/4 experiments\n"
+            "  [transient] 4/4 experiments\n")
+
+    def test_stderr_sink_renders_progress_and_attribution(self):
+        stream = io.StringIO()
+        self._track(StderrTelemetry(stream=stream, interval=0.0))
+        text = stream.getvalue()
+        assert "campaign: 4 experiments" in text
+        assert "parity=2" in text
+        assert "done: 4 experiments" in text
+
+    def test_event_throughput_and_eta(self):
+        event = TelemetryEvent(kind=EVENT_EXPERIMENT, duration=TRANSIENT,
+                               completed=30, total=40, elapsed=2.0, skipped=10)
+        assert event.executed == 20
+        assert event.throughput == pytest.approx(10.0)
+        assert event.eta_seconds == pytest.approx(1.0)
+        fresh = TelemetryEvent(kind=EVENT_START, duration=TRANSIENT,
+                               completed=0, total=40, elapsed=0.0)
+        assert fresh.throughput == 0.0
+        assert fresh.eta_seconds is None
+
+    def test_coerce_sink_variants(self):
+        assert isinstance(coerce_sink(), NullTelemetry)
+        sink = StderrTelemetry(stream=io.StringIO())
+        assert coerce_sink(telemetry=sink) is sink
+        assert isinstance(coerce_sink(telemetry=lambda e: None),
+                          CallbackTelemetry)
+        with pytest.raises(TypeError):
+            coerce_sink(telemetry=42)
+
+    def test_progress_keyword_is_deprecated_alias(self):
+        with pytest.warns(DeprecationWarning):
+            sink = coerce_sink(progress=5)
+        assert isinstance(sink, LegacyPrintTelemetry)
+        assert sink.every == 5
+
+
+class TestStreamingSummary:
+    def test_keep_results_false_holds_only_counters(self):
+        summary = CampaignSummary(duration=TRANSIENT, keep_results=False)
+        for detected in (True, False, True):
+            summary.add(_result(detected=detected))
+        assert summary.total == 3
+        assert summary.results == []
+        assert summary.checker_counts == {"parity": 2}
+        assert summary.unmasked_detected == 2
+
+    def test_merge_accumulates_counters_and_results(self):
+        a = CampaignSummary(duration=TRANSIENT)
+        b = CampaignSummary(duration=TRANSIENT)
+        a.add(_result(detected=True))
+        b.add(_result(detected=True))
+        b.add(_result(detected=False))
+        a.merge(b)
+        assert a.total == 3
+        assert a.checker_counts == {"parity": 2}
+        assert len(a.results) == 3
+
+    def test_merge_rejects_duration_mismatch(self):
+        with pytest.raises(ValueError):
+            CampaignSummary(duration=TRANSIENT).merge(
+                CampaignSummary(duration=PERMANENT))
