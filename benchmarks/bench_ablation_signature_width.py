@@ -42,7 +42,6 @@ def _make_fold(width, rng):
 def _alias_rate(width, trials=TRIALS, seed=5):
     rng = random.Random(seed)
     fold = _make_fold(width, rng)
-    mask = (1 << width) - 1
     aliases = 0
     for _ in range(trials):
         state = [rng.getrandbits(width) for _ in range(NUM_LOCATIONS)]

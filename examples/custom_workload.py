@@ -11,7 +11,7 @@ and prints its dynamic/static/runtime overheads - exactly what
 """
 
 from repro.workloads.base import Workload
-from repro.workloads.gen import byte_directive, word_directive
+from repro.workloads.gen import byte_directive
 from repro.workloads.runner import measure_workload
 
 import random

@@ -1,0 +1,99 @@
+"""Static binary verifier + lint pass for Argus-protected programs.
+
+The Argus toolchain (:mod:`repro.toolchain`) is the most intricate layer
+of this reproduction, and until this package existed its output was only
+ever validated by the runtime checker it was built to feed - a circular
+oracle.  :func:`analyze_program` breaks that circle: it takes any
+assembled or embedded :class:`~repro.asm.program.Program` and verifies
+it **without executing it**, using only the disassembler as its front
+end:
+
+1. **CFG recovery** (:mod:`repro.analysis.cfg`) - re-derives the
+   hardware-visible basic-block structure from the encoded words and
+   cross-checks it against the embedder's own scan;
+2. **structural lints** (:mod:`repro.analysis.lints`) - stable error
+   codes ARG001-ARG009 for undecodable words, branches into delay
+   slots, over-long blocks, fall-through into data, unreachable blocks,
+   spare-bit overflows and front-end disagreements;
+3. **signature verification** (:mod:`repro.analysis.signatures`) -
+   re-runs the SHS transfer function over every block and compares the
+   result against each packed successor field, ``.codeptr`` tag and the
+   entry DCS (ARG010-ARG012);
+4. **static dataflow** (:mod:`repro.analysis.dataflow`) - register
+   use-before-def over the recovered CFG, the compile-time mirror of
+   Argus's runtime dataflow checker (ARG013).
+
+Every defect is a :class:`~repro.analysis.diagnostics.Diagnostic` in an
+:class:`~repro.analysis.diagnostics.AnalysisReport` - never an
+exception - so one run reports everything at once.  The ``argus-repro
+lint`` CLI subcommand and the ``embed_program(..., verify=True)``
+post-embed gate are thin wrappers over :func:`analyze_program`.
+"""
+
+from repro.analysis.cfg import (
+    RecoveredBlock,
+    RecoveredCFG,
+    reachable_blocks,
+    recover_cfg,
+)
+from repro.analysis.dataflow import check_dataflow
+from repro.analysis.diagnostics import (
+    CODES,
+    ERROR,
+    WARNING,
+    AnalysisReport,
+    Diagnostic,
+)
+from repro.analysis.lints import run_structural_lints
+from repro.analysis.signatures import check_entry_dcs, verify_signatures
+from repro.toolchain.segment import MAX_BLOCK_INSNS
+
+
+def analyze_program(program, expected_entry_dcs=None, check_signatures=True,
+                    max_block=MAX_BLOCK_INSNS, dataflow=True):
+    """Statically verify a program; returns an :class:`AnalysisReport`.
+
+    ``check_signatures=True`` (the default) treats the program as
+    Argus-embedded and verifies the packed DCS metadata; pass ``False``
+    for plain (unprotected) binaries to run the structural and dataflow
+    passes only.  ``expected_entry_dcs`` is the DCS recorded in the
+    object header, when one exists.
+    """
+    report = AnalysisReport(program)
+    cfg = recover_cfg(program)
+    run_structural_lints(cfg, report, max_block=max_block)
+    if check_signatures:
+        verify_signatures(cfg, report, expected_entry_dcs=expected_entry_dcs)
+    else:
+        check_entry_dcs(cfg, report, {}, None)
+    if dataflow:
+        check_dataflow(cfg, report)
+    return report
+
+
+def analyze_embedded(embedded, **kwargs):
+    """Analyze an :class:`~repro.toolchain.embed.EmbeddedProgram`.
+
+    The embedder's claimed entry DCS becomes the expected header value,
+    so a buggy embedder is caught even before the object is saved.
+    """
+    kwargs.setdefault("expected_entry_dcs", embedded.entry_dcs)
+    return analyze_program(embedded.program, **kwargs)
+
+
+__all__ = [
+    "AnalysisReport",
+    "Diagnostic",
+    "CODES",
+    "ERROR",
+    "WARNING",
+    "RecoveredBlock",
+    "RecoveredCFG",
+    "recover_cfg",
+    "reachable_blocks",
+    "run_structural_lints",
+    "verify_signatures",
+    "check_dataflow",
+    "analyze_program",
+    "analyze_embedded",
+]

@@ -1,0 +1,220 @@
+"""Independent CFG recovery from encoded instruction words.
+
+This pass re-derives the hardware-visible basic-block structure of a
+binary from nothing but the decoded words (via
+:func:`repro.asm.disassembler.decode_text`), applying the same terminal
+rule the fetch hardware applies: a block ends at a branch plus its delay
+slot, at ``halt``, or at a Signature instruction with its T bit set.  It
+deliberately shares **no state** with the embedder's own block
+bookkeeping (:func:`repro.toolchain.embed.scan_hardware_blocks`), so the
+two can be cross-checked against each other - breaking the circular
+oracle where the toolchain's output is only ever validated by the
+runtime checker built from the same code.
+
+Recovery never raises for malformed binaries; structural defects are
+left for the lint pass to diagnose (missing terminals surface as blocks
+with ``kind=None``, undecodable words as ``None`` entries in
+``instrs``).
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.argus.payload import sig_is_terminator, terminal_kind
+from repro.asm.disassembler import decode_text
+from repro.isa import registers
+from repro.isa.opcodes import Op
+
+
+@dataclass
+class RecoveredBlock:
+    """One basic block recovered from the raw words."""
+
+    start: int  # address of the first word
+    end: int  # one past the last word
+    kind: Optional[str]  # terminal kind, or None when no terminal was found
+    terminal: Optional[int]  # address of the terminal instruction
+    words: list = field(default_factory=list)
+    instrs: list = field(default_factory=list)  # Instr or None (undecodable)
+    undecodable: tuple = ()  # addresses of undecodable words
+
+    @property
+    def num_insns(self):
+        return (self.end - self.start) // 4
+
+    @property
+    def fully_decoded(self):
+        return not self.undecodable
+
+    def addresses(self):
+        return range(self.start, self.end, 4)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return "<RecoveredBlock 0x%x..0x%x %s>" % (self.start, self.end, self.kind)
+
+
+@dataclass
+class RecoveredCFG:
+    """The recovered block partition plus derived navigation tables."""
+
+    program: object
+    blocks: dict  # start address -> RecoveredBlock, in text order
+    delay_slots: frozenset  # addresses occupied by branch delay slots
+
+    @property
+    def text_base(self):
+        return self.program.text_base
+
+    @property
+    def text_end(self):
+        return self.program.text_end
+
+    def block_containing(self, address):
+        """The block whose address range covers ``address`` (or None)."""
+        for block in self.blocks.values():
+            if block.start <= address < block.end:
+                return block
+        return None
+
+    def direct_target(self, block):
+        """Absolute target of a block's direct branch terminal (or None)."""
+        if block.kind not in ("cond", "jump", "call") or block.terminal is None:
+            return None
+        index = (block.terminal - block.start) >> 2
+        instr = block.instrs[index]
+        return (block.terminal + 4 * instr.offset) & 0xFFFFFFFF
+
+    def codeptr_targets(self):
+        """Indirect-branch target addresses recorded at ``.codeptr`` sites.
+
+        Reads the (possibly DCS-tagged) pointer words out of the data
+        image; the tag is stripped so the result is comparable with
+        block start addresses.
+        """
+        targets = []
+        program = self.program
+        for site, _label in getattr(program, "codeptr_sites", ()):
+            offset = site - program.data_base
+            if 0 <= offset and offset + 4 <= len(program.data):
+                pointer = int.from_bytes(program.data[offset:offset + 4], "little")
+                targets.append(registers.pointer_address(pointer))
+        return tuple(targets)
+
+    def successors(self, block):
+        """Conservative successor block-start addresses of ``block``.
+
+        Direct terminals are exact.  Indirect jumps are approximated
+        with the jump-table universe (``.codeptr`` targets).  Calls fan
+        out to both the callee and their own fall-through (the return
+        point), and ``jr lr`` returns contribute no edges of their own -
+        every return point is already reached through its call's
+        fall-through edge, and routing callee exits to *all* return
+        points would poison the dataflow analysis with other call
+        sites' state (registers physically persist across calls, so the
+        call-site edge is the accurate carrier of definedness).
+        Addresses that are not recovered block starts are filtered out
+        (the lint pass diagnoses them).
+        """
+        out = []
+        kind = block.kind
+        if kind == "cond":
+            out = [self.direct_target(block), block.end]
+        elif kind == "jump":
+            out = [self.direct_target(block)]
+        elif kind == "call":
+            out = [self.direct_target(block), block.end]
+        elif kind == "indirect":
+            index = (block.terminal - block.start) >> 2
+            instr = block.instrs[index]
+            if instr.rb != registers.LINK_REG:
+                out = list(self.codeptr_targets())
+        elif kind == "indirect_call":
+            out = list(self.codeptr_targets()) + [block.end]
+        elif kind == "fallthrough":
+            out = [block.end]
+        # halt, return and terminal-less blocks have no successors.
+        return tuple(t for t in out if t in self.blocks)
+
+
+def recover_cfg(program):
+    """Partition a program's text into :class:`RecoveredBlock` objects.
+
+    Works purely from the disassembler's view of the words.  Never
+    raises on malformed input: a block that reaches the end of text
+    without a terminal gets ``kind=None``; a branch whose delay slot
+    would lie beyond the text keeps its kind but its ``end`` is clamped.
+    """
+    items = decode_text(program)
+    n = len(items)
+    blocks = {}
+    delay_slots = set()
+    i = 0
+    while i < n:
+        start = items[i][0]
+        j = i
+        terminal = None
+        kind = None
+        while j < n:
+            addr, word, instr = items[j]
+            if instr is None:
+                # Undecodable words cannot terminate a block; keep walking.
+                j += 1
+                continue
+            if instr.is_branch:
+                terminal = addr
+                kind = terminal_kind(instr)
+                if j + 1 < n:
+                    delay_slots.add(items[j + 1][0])
+                    j += 2  # include the delay slot
+                else:
+                    j += 1  # truncated: delay slot lies beyond the text
+                break
+            if instr.op is Op.HALT:
+                terminal = addr
+                kind = "halt"
+                j += 1
+                break
+            if instr.op is Op.SIG and sig_is_terminator(word):
+                terminal = addr
+                kind = "fallthrough"
+                j += 1
+                break
+            j += 1
+        span = items[i:j]  # every inner-loop path advances j, so j > i
+        block = RecoveredBlock(
+            start=start,
+            end=span[-1][0] + 4,
+            kind=kind,
+            terminal=terminal,
+            words=[w for _, w, _ in span],
+            instrs=[ins for _, _, ins in span],
+            undecodable=tuple(a for a, _, ins in span if ins is None),
+        )
+        blocks[start] = block
+        i = j
+    return RecoveredCFG(program=program, blocks=blocks,
+                        delay_slots=frozenset(delay_slots))
+
+
+def reachable_blocks(cfg, entry=None):
+    """Set of block start addresses reachable from the entry point."""
+    program = cfg.program
+    if entry is None:
+        entry = program.entry
+    root = entry if entry in cfg.blocks else None
+    if root is None:
+        containing = cfg.block_containing(entry)
+        if containing is None:
+            return set()
+        root = containing.start
+    seen = set()
+    stack = [root]
+    while stack:
+        start = stack.pop()
+        if start in seen:
+            continue
+        seen.add(start)
+        for succ in cfg.successors(cfg.blocks[start]):
+            if succ not in seen:
+                stack.append(succ)
+    return seen

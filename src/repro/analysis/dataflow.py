@@ -1,0 +1,117 @@
+"""Static register dataflow: use-before-def over the recovered CFG.
+
+Argus's runtime dataflow checker verifies that every value consumed was
+produced by the operation the static DCS says produced it; this pass is
+its compile-time mirror (ARG013): a register (or the compare flag) read
+on some path before any instruction defined it has *no* producer, which
+is almost always a toolchain or program bug and at best makes the
+block's dataflow signature depend on junk.
+
+The analysis is a classic forward must-analysis: the set of locations
+definitely defined at block entry is the intersection over all
+predecessor exit sets, iterated to a fixpoint over the conservative CFG
+(indirect branches fan out to the jump-table universe; a call's
+fall-through edge carries the call site's own state, since registers
+physically persist across calls).  Reads outside the must-defined set
+are reported as warnings - calls are assumed to define nothing, so code
+that consumes a callee's "return register" without a prior definition
+can trip a false positive, and this pass never blocks a lint run.
+"""
+
+from repro.analysis.cfg import reachable_blocks
+from repro.isa import registers
+from repro.isa.opcodes import Op
+
+#: Pseudo-location index for the compare flag (registers are 0..31).
+FLAG = 32
+_ALL_LOCATIONS = frozenset(range(registers.NUM_REGS)) | {FLAG}
+
+#: Locations defined before the first instruction executes: r0 is
+#: hard-wired and the zero register is always readable.
+ENTRY_DEFINED = frozenset({registers.ZERO_REG})
+
+
+def instr_reads(instr):
+    """Locations an instruction consumes (registers and the flag)."""
+    reads = []
+    if instr.reads_ra:
+        reads.append(instr.ra)
+    if instr.reads_rb:
+        reads.append(instr.rb)
+    if instr.op in (Op.BF, Op.BNF):
+        reads.append(FLAG)
+    return reads
+
+
+def instr_writes(instr):
+    """Locations an instruction defines."""
+    writes = []
+    if instr.writes_rd:
+        writes.append(instr.rd)
+    if instr.op in (Op.JAL, Op.JALR):
+        writes.append(registers.LINK_REG)
+    if instr.is_compare:
+        writes.append(FLAG)
+    return writes
+
+
+def _location_name(location):
+    return "the compare flag" if location == FLAG else "r%d" % location
+
+
+def _transfer(block, defined, on_read=None):
+    """Run a block's instructions over a defined-set; returns the exit set."""
+    defined = set(defined)
+    for index, instr in enumerate(block.instrs):
+        if instr is None:
+            continue
+        if on_read is not None:
+            for location in instr_reads(instr):
+                if location not in defined:
+                    on_read(block.start + 4 * index, instr, location)
+        defined.update(instr_writes(instr))
+    return defined
+
+
+def check_dataflow(cfg, report):
+    """ARG013 (warning): report reads of maybe-undefined locations."""
+    reached = reachable_blocks(cfg)
+    if not reached:
+        return
+    entry = cfg.program.entry
+    entry_start = entry if entry in cfg.blocks else min(reached)
+
+    # Fixpoint: in-sets start at the full universe and only shrink.
+    in_sets = {start: set(_ALL_LOCATIONS) for start in reached}
+    in_sets[entry_start] = set(ENTRY_DEFINED)
+    worklist = [entry_start]
+    out_cache = {}
+    while worklist:
+        start = worklist.pop()
+        block = cfg.blocks[start]
+        out = _transfer(block, in_sets[start])
+        if out_cache.get(start) == out:
+            continue
+        out_cache[start] = out
+        for succ in cfg.successors(block):
+            if succ not in reached or succ == entry_start:
+                continue
+            narrowed = in_sets[succ] & out
+            if narrowed != in_sets[succ]:
+                in_sets[succ] = narrowed
+                worklist.append(succ)
+            elif succ not in out_cache:
+                worklist.append(succ)
+
+    # Reporting pass over the final in-sets; one warning per read site.
+    for start in sorted(reached):
+        block = cfg.blocks[start]
+
+        def warn(addr, instr, location, _block=block):
+            report.add("ARG013",
+                       "%s reads %s, which may be used before it is "
+                       "defined on some path from the entry point"
+                       % (instr.mnemonic, _location_name(location)),
+                       address=addr, block=_block.start)
+
+        _transfer(block, in_sets[start], on_read=warn)

@@ -1,0 +1,134 @@
+"""Diagnostic and report framework for the static analyzer.
+
+Every finding of the analyzer is a :class:`Diagnostic` with a stable
+error code (``ARG0xx``), a severity, a human-readable message and - when
+known - the address of the offending word and the start address of the
+basic block containing it.  Diagnostics accumulate in an
+:class:`AnalysisReport`; nothing in the analyzer raises for a *program*
+defect (only for analyzer-usage errors), so a single run reports every
+problem at once.
+
+The code registry below is the contract with the test suite, the CLI and
+``docs/ANALYSIS.md``; codes are append-only and never renumbered.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+ERROR = "error"
+WARNING = "warning"
+
+#: Stable code registry: code -> (default severity, one-line summary).
+CODES = {
+    "ARG001": (ERROR, "undecodable word in the text segment"),
+    "ARG002": (ERROR, "branch targets a delay-slot instruction"),
+    "ARG003": (ERROR, "block exceeds the maximum block size without a "
+                      "Signature terminator"),
+    "ARG004": (ERROR, "control falls through into data (text ends without "
+                      "a block terminal)"),
+    "ARG005": (WARNING, "unreachable basic block"),
+    "ARG006": (ERROR, "spare-bit packing overflow (block capacity cannot "
+                      "hold its successor payload)"),
+    "ARG007": (ERROR, "branch targets the middle of a basic block"),
+    "ARG008": (ERROR, "branch target lies outside the text segment"),
+    "ARG009": (ERROR, "recovered CFG disagrees with the hardware block scan"),
+    "ARG010": (ERROR, "packed successor DCS does not match the re-derived "
+                      "block DCS"),
+    "ARG011": (ERROR, "jump-table .codeptr tag mismatch"),
+    "ARG012": (ERROR, "entry-point DCS mismatch"),
+    "ARG013": (WARNING, "register may be used before it is defined"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding, pinned to a code, an address and a block."""
+
+    severity: str
+    code: str
+    message: str
+    address: Optional[int] = None  # byte address of the offending word
+    block: Optional[int] = None  # start address of the containing block
+
+    def format(self):
+        where = ""
+        if self.address is not None:
+            where += " at 0x%x" % self.address
+        if self.block is not None and self.block != self.address:
+            where += " (block 0x%x)" % self.block
+        elif self.block is not None and self.address is None:
+            where += " (block 0x%x)" % self.block
+        return "%s[%s]%s: %s" % (self.severity, self.code, where, self.message)
+
+    def to_dict(self):
+        out = {"severity": self.severity, "code": self.code,
+               "message": self.message}
+        if self.address is not None:
+            out["address"] = self.address
+        if self.block is not None:
+            out["block"] = self.block
+        return out
+
+
+class AnalysisReport:
+    """All diagnostics of one analyzer run over one program."""
+
+    def __init__(self, program=None):
+        self.program = program
+        self.diagnostics = []
+
+    def add(self, code, message, address=None, block=None, severity=None):
+        """Record one finding; severity defaults to the code's registry entry."""
+        if code not in CODES:
+            raise ValueError("unknown diagnostic code %r" % code)
+        if severity is None:
+            severity = CODES[code][0]
+        self.diagnostics.append(Diagnostic(
+            severity=severity, code=code, message=message,
+            address=address, block=block))
+
+    @property
+    def errors(self):
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def warnings(self):
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    @property
+    def ok(self):
+        """True when the program carries no errors (warnings allowed)."""
+        return not self.errors
+
+    def codes(self):
+        """Set of distinct codes present in the report."""
+        return {d.code for d in self.diagnostics}
+
+    def by_code(self, code):
+        return [d for d in self.diagnostics if d.code == code]
+
+    def render_text(self):
+        """Human-readable rendering, one line per diagnostic + a summary."""
+        lines = [d.format() for d in self.diagnostics]
+        lines.append("%d error(s), %d warning(s)"
+                     % (len(self.errors), len(self.warnings)))
+        return "\n".join(lines)
+
+    def to_dict(self):
+        return {
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def render_json(self, **kwargs):
+        import json
+
+        kwargs.setdefault("indent", 1)
+        kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **kwargs)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return "<AnalysisReport errors=%d warnings=%d>" % (
+            len(self.errors), len(self.warnings))

@@ -1,0 +1,185 @@
+"""Structural lints over the recovered CFG (codes ARG001-ARG009).
+
+Each lint inspects the :class:`~repro.analysis.cfg.RecoveredCFG` and
+appends diagnostics to an :class:`~repro.analysis.diagnostics.AnalysisReport`;
+no lint ever raises for a program defect.  The final lint cross-checks
+the independently recovered partition against the embedder's own
+hardware block scan - the two implement the same fetch rule from
+different code, so any disagreement means one of them is wrong
+(ARG009).
+"""
+
+from repro.argus.payload import payload_capacity, payload_fields
+from repro.argus.shs import SHS_BITS
+from repro.analysis.cfg import reachable_blocks
+from repro.toolchain.segment import MAX_BLOCK_INSNS
+
+#: Instructions a legal block may exceed ``max_block`` by: the embedder
+#: closes a block only after appending a branch (one instruction past the
+#: limit), then the delay slot rides along and a capacity Signature may be
+#: inserted before the terminal - two words of slack in total.
+TERMINAL_SLACK = 2
+
+
+def lint_undecodable(cfg, report):
+    """ARG001: every text word must decode to an instruction."""
+    for block in cfg.blocks.values():
+        for addr in block.undecodable:
+            word = block.words[(addr - block.start) >> 2]
+            report.add("ARG001",
+                       "word 0x%08x does not decode to an instruction" % word,
+                       address=addr, block=block.start)
+
+
+def lint_branch_targets(cfg, report):
+    """ARG002/ARG007/ARG008: direct branch targets must start a block."""
+    for block in cfg.blocks.values():
+        target = cfg.direct_target(block)
+        if target is None:
+            continue
+        if not (cfg.text_base <= target < cfg.text_end):
+            report.add("ARG008",
+                       "branch at 0x%x targets 0x%x, outside the text "
+                       "segment [0x%x, 0x%x)" % (block.terminal, target,
+                                                 cfg.text_base, cfg.text_end),
+                       address=block.terminal, block=block.start)
+        elif target in cfg.delay_slots:
+            report.add("ARG002",
+                       "branch at 0x%x targets the delay-slot instruction "
+                       "at 0x%x" % (block.terminal, target),
+                       address=block.terminal, block=block.start)
+        elif target not in cfg.blocks:
+            owner = cfg.block_containing(target)
+            report.add("ARG007",
+                       "branch at 0x%x targets 0x%x, the middle of the "
+                       "block starting at 0x%x" % (
+                           block.terminal, target,
+                           owner.start if owner else target),
+                       address=block.terminal, block=block.start)
+
+
+def lint_block_size(cfg, report, max_block=MAX_BLOCK_INSNS):
+    """ARG003: block sizes must honor the detection-latency bound."""
+    limit = max_block + TERMINAL_SLACK
+    for block in cfg.blocks.values():
+        if block.num_insns > limit:
+            report.add("ARG003",
+                       "block has %d instructions, exceeding the "
+                       "MAX_BLOCK_INSNS bound of %d (+%d terminal slack) "
+                       "without a Signature terminator split" % (
+                           block.num_insns, max_block, TERMINAL_SLACK),
+                       address=block.start, block=block.start)
+
+
+def lint_fallthrough_into_data(cfg, report):
+    """ARG004: control must never run off the end of the text segment."""
+    blocks = list(cfg.blocks.values())
+    for block in blocks:
+        if block.kind is None:
+            report.add("ARG004",
+                       "block reaches the end of the text segment without "
+                       "a terminal (branch, halt or Signature-T); control "
+                       "falls through into data",
+                       address=block.start, block=block.start)
+        elif block.terminal is not None:
+            # A fall-through successor that lies beyond the text.
+            if block.kind in ("cond", "call", "indirect_call", "fallthrough") \
+                    and block.end >= cfg.text_end \
+                    and cfg.block_containing(block.end) is None:
+                report.add("ARG004",
+                           "%s block falls through at 0x%x into data "
+                           "(no block follows it in the text segment)"
+                           % (block.kind, block.end),
+                           address=block.terminal, block=block.start)
+            # A branch terminal (of any kind, indirect included) whose
+            # delay slot lies beyond the text.
+            index = (block.terminal - block.start) >> 2
+            instr = block.instrs[index]
+            if instr is not None and instr.is_branch \
+                    and block.terminal + 4 >= cfg.text_end:
+                report.add("ARG004",
+                           "branch at 0x%x has no delay slot inside the "
+                           "text segment" % block.terminal,
+                           address=block.terminal, block=block.start)
+
+
+def lint_unreachable(cfg, report):
+    """ARG005 (warning): blocks unreachable from the entry point."""
+    reached = reachable_blocks(cfg)
+    for block in cfg.blocks.values():
+        if block.start not in reached:
+            report.add("ARG005",
+                       "block is unreachable from the entry point 0x%x"
+                       % cfg.program.entry,
+                       address=block.start, block=block.start)
+
+
+def lint_payload_capacity(cfg, report):
+    """ARG006: spare bits must be able to hold the successor payload."""
+    for block in cfg.blocks.values():
+        if block.kind in (None, "halt", "indirect") or not block.fully_decoded:
+            continue
+        needed = SHS_BITS * len(payload_fields(block.kind))
+        if not needed:
+            continue
+        capacity = sum(payload_capacity(instr.op) for instr in block.instrs)
+        if capacity < needed:
+            report.add("ARG006",
+                       "%s block needs %d payload bits for its successor "
+                       "DCSs but its instructions expose only %d spare "
+                       "bits (a capacity Signature instruction is missing)"
+                       % (block.kind, needed, capacity),
+                       address=block.start, block=block.start)
+
+
+def lint_cross_check_hardware_scan(cfg, report):
+    """ARG009: the recovered partition must match the hardware scan.
+
+    :func:`repro.toolchain.embed.scan_hardware_blocks` implements the
+    same fetch rule from independent code; when it succeeds, block
+    starts, ends and kinds must agree exactly.  When it raises but the
+    recovered CFG produced no error either, the two front ends disagree
+    about whether the binary is well-formed at all.
+    """
+    from repro.isa.decode import DecodeError
+    from repro.toolchain.embed import EmbedError, scan_hardware_blocks
+
+    try:
+        hardware = scan_hardware_blocks(cfg.program)
+    except (DecodeError, EmbedError) as exc:
+        if report.ok:
+            report.add("ARG009",
+                       "hardware block scan rejected the binary (%s) but "
+                       "the recovered CFG found no defect" % exc)
+        return
+    recovered = {start: (block.end, block.kind)
+                 for start, block in cfg.blocks.items()}
+    scanned = {start: (block.end, block.kind)
+               for start, block in hardware.items()}
+    for start in sorted(set(recovered) | set(scanned)):
+        if start not in recovered:
+            report.add("ARG009",
+                       "hardware scan found a block at 0x%x that CFG "
+                       "recovery did not" % start, address=start)
+        elif start not in scanned:
+            report.add("ARG009",
+                       "CFG recovery found a block at 0x%x that the "
+                       "hardware scan did not" % start,
+                       address=start, block=start)
+        elif recovered[start] != scanned[start]:
+            report.add("ARG009",
+                       "block 0x%x disagrees between CFG recovery "
+                       "(end=0x%x, %s) and the hardware scan (end=0x%x, %s)"
+                       % ((start,) + recovered[start] + scanned[start]),
+                       address=start, block=start)
+
+
+def run_structural_lints(cfg, report, max_block=MAX_BLOCK_INSNS):
+    """Run every structural lint (ARG001-ARG009) in order."""
+    lint_undecodable(cfg, report)
+    lint_branch_targets(cfg, report)
+    lint_block_size(cfg, report, max_block=max_block)
+    lint_fallthrough_into_data(cfg, report)
+    lint_unreachable(cfg, report)
+    lint_payload_capacity(cfg, report)
+    lint_cross_check_hardware_scan(cfg, report)

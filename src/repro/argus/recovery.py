@@ -164,7 +164,7 @@ class RecoveringCore:
                 self.rollbacks += 1
                 self._retries_here += 1
                 if self._retries_here > self.max_retries:
-                    raise UnrecoverableError(exc.event, self._retries_here)
+                    raise UnrecoverableError(exc.event, self._retries_here) from exc
                 self._checkpoint.restore(core)
                 continue
             if record is None:

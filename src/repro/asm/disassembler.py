@@ -1,5 +1,19 @@
-"""Disassembler for encoded ``orr`` instructions (debugging/inspection)."""
+"""Disassembler for encoded ``orr`` instructions.
 
+Besides the classic inspection helpers (:func:`disassemble_word`,
+:func:`disassemble_program`) this module is the *front end of the static
+analyzer* (:mod:`repro.analysis`): :func:`decode_text` walks a
+:class:`~repro.asm.program.Program`'s text words through the ISA decoder
+alone - with no reference to the toolchain's block bookkeeping - which is
+what makes the analyzer an independent oracle for the embedder.
+
+:func:`disassemble_to_source` renders a program back to *reassemblable*
+assembly (synthesizing labels for branch targets and reconstructing the
+data section), so that ``assemble -> disassemble -> reassemble`` is
+word-identical for any program whose spare bits carry no DCS payload.
+"""
+
+from repro.argus.payload import sig_is_terminator
 from repro.isa.decode import decode, DecodeError
 from repro.isa.opcodes import Op
 
@@ -54,3 +68,109 @@ def disassemble_program(program):
         out.append((addr, word, "    " + disassemble_word(word, addr)))
         addr += 4
     return out
+
+
+def decode_text(program):
+    """Decode the text segment: ``[(address, word, Instr-or-None), ...]``.
+
+    Undecodable words yield ``None`` instead of raising, so a static
+    analyzer can keep walking and report every bad word.  This is the
+    analyzer's only view of the binary - it never consults the
+    embedder's block metadata.
+    """
+    out = []
+    addr = program.text_base
+    for word in program.words:
+        try:
+            instr = decode(word)
+        except DecodeError:
+            instr = None
+        out.append((addr, word, instr))
+        addr += 4
+    return out
+
+
+_BRANCH_TO_LABEL = (Op.J, Op.JAL, Op.BF, Op.BNF)
+
+
+def disassemble_to_source(program):
+    """Render a program as reassemblable assembly source.
+
+    Synthesizes ``L_<hex>`` labels for unlabelled branch targets inside
+    the text segment (branch targets outside it keep their raw word
+    offset), emits ``sig``/``sig 1`` for Signature words, and rebuilds
+    the data image with ``.word``/``.byte`` directives.  Reassembling
+    with the same ``text_base``/``data_base`` reproduces the words and
+    data bytes exactly, *provided* no spare bits carry payload (embedded
+    binaries lose their packed DCSs - payload is not expressible in
+    assembly source).
+    """
+    addr_to_label = {}
+    for name, addr in program.labels.items():
+        addr_to_label.setdefault(addr, []).append(name)
+
+    # Synthesize labels for in-text branch targets that lack one.
+    taken = set(program.labels)
+    for addr, word, instr in decode_text(program):
+        if instr is None or instr.op not in _BRANCH_TO_LABEL:
+            continue
+        target = (addr + 4 * instr.offset) & 0xFFFFFFFF
+        if program.text_base <= target < program.text_end and target not in addr_to_label:
+            name = "L_%x" % target
+            while name in taken:  # avoid clashing with user labels
+                name = "_" + name
+            taken.add(name)
+            addr_to_label[target] = [name]
+
+    lines = ["        .text"]
+    emitted = set()
+
+    def emit_labels(addr):
+        # Each address's labels are emitted once (text_end can coincide
+        # with data_base, where both sections would otherwise emit them).
+        if addr in emitted:
+            return
+        emitted.add(addr)
+        for name in addr_to_label.get(addr, ()):
+            lines.append("%s:" % name)
+
+    for addr, word, instr in decode_text(program):
+        emit_labels(addr)
+        if instr is None:
+            raise ValueError(
+                "word 0x%08x at 0x%x does not decode; cannot render "
+                "reassemblable source" % (word, addr))
+        if instr.op is Op.SIG:
+            lines.append("        sig 1" if sig_is_terminator(word)
+                         else "        sig")
+        elif instr.op in _BRANCH_TO_LABEL:
+            target = (addr + 4 * instr.offset) & 0xFFFFFFFF
+            if target in addr_to_label:
+                lines.append("        %s %s"
+                             % (instr.mnemonic, addr_to_label[target][0]))
+            else:
+                lines.append("        %s %d" % (instr.mnemonic, instr.offset))
+        else:
+            lines.append("        " + disassemble_word(word, addr))
+    emit_labels(program.text_end)
+
+    data = program.data
+    if data or any(addr >= program.data_base for addr in addr_to_label):
+        lines.append("        .data")
+        off = 0
+        n = len(data)
+        while off < n:
+            emit_labels(program.data_base + off)
+            # Prefer .word chunks; fall back to .byte when a label would
+            # land inside the chunk or fewer than 4 bytes remain.
+            label_inside = any(program.data_base + off + k in addr_to_label
+                               for k in (1, 2, 3))
+            if off % 4 == 0 and off + 4 <= n and not label_inside:
+                value = int.from_bytes(data[off:off + 4], "little")
+                lines.append("        .word 0x%08x" % value)
+                off += 4
+            else:
+                lines.append("        .byte %d" % data[off])
+                off += 1
+        emit_labels(program.data_base + n)
+    return "\n".join(lines) + "\n"

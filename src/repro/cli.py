@@ -7,6 +7,10 @@ Commands:
   file (:mod:`repro.io.objfile`).
 * ``dis OBJ_OR_SOURCE`` - disassemble.
 * ``blocks SOURCE`` - show the basic-block/DCS map of the embedded form.
+* ``lint [INPUTS...] [--all-workloads] [--format json]`` - static binary
+  verifier (:mod:`repro.analysis`): CFG recovery, structural lints,
+  DCS re-derivation and dataflow over sources, objects or the bundled
+  workload suite; exits 1 on errors, 2 on load/embed failure.
 * ``run OBJ_OR_SOURCE [--checked] [--ways N]`` - execute; embedded
   objects (or ``--checked`` on source) run on the fully-checked core.
 * ``trace SOURCE [--limit N]`` - disassembled execution trace plus the
@@ -163,6 +167,83 @@ def cmd_inject(args):
     return 0
 
 
+def _lint_targets(args):
+    """Yield (name, report-or-None, failure-message-or-None) per target."""
+    from repro.analysis import analyze_embedded, analyze_program
+    from repro.io import load_raw
+    from repro.toolchain import EmbedError, MAX_BLOCK_INSNS
+
+    if args.max_block is None:
+        args.max_block = MAX_BLOCK_INSNS
+    targets = [(path, None) for path in args.inputs]
+    if args.all_workloads:
+        from repro.workloads import ALL_WORKLOADS
+        targets += [(workload.name, workload) for workload in ALL_WORKLOADS]
+
+    for name, workload in targets:
+        try:
+            if workload is not None:
+                report = analyze_embedded(workload.build_embedded(),
+                                          max_block=args.max_block)
+            elif str(name).endswith(".aro"):
+                program, header = load_raw(name)
+                embedded_kind = header.get("kind") == "embedded"
+                report = analyze_program(
+                    program,
+                    expected_entry_dcs=header.get("entry_dcs"),
+                    check_signatures=embedded_kind,
+                    max_block=args.max_block)
+            elif args.plain:
+                report = analyze_program(assemble(parse(_read_source(name))),
+                                         check_signatures=False,
+                                         max_block=args.max_block)
+            else:
+                report = analyze_embedded(
+                    embed_program(_read_source(name),
+                                  max_block=args.max_block),
+                    max_block=args.max_block)
+        except (OSError, EmbedError, ValueError) as exc:
+            yield name, None, "%s: %s" % (type(exc).__name__, exc)
+            continue
+        yield name, report, None
+
+
+def cmd_lint(args):
+    import json
+
+    if not args.inputs and not args.all_workloads:
+        print("lint: nothing to do (give a source/object file or "
+              "--all-workloads)", file=sys.stderr)
+        return 2
+    failed_load = False
+    failed_lint = False
+    results = []
+    for name, report, failure in _lint_targets(args):
+        if report is None:
+            failed_load = True
+            results.append({"target": str(name), "ok": False,
+                            "failure": failure})
+            if args.format == "text":
+                print("%s: FAILED to load/embed: %s" % (name, failure))
+            continue
+        if not report.ok:
+            failed_lint = True
+        results.append({"target": str(name), **report.to_dict()})
+        if args.format == "text":
+            summary = ("clean" if not report.diagnostics else
+                       "%d error(s), %d warning(s)"
+                       % (len(report.errors), len(report.warnings)))
+            print("%s: %s" % (name, summary))
+            for diagnostic in report.diagnostics:
+                print("  " + diagnostic.format())
+    if args.format == "json":
+        print(json.dumps({"ok": not (failed_load or failed_lint),
+                          "targets": results}, indent=2, sort_keys=True))
+    if failed_load:
+        return 2
+    return 1 if failed_lint else 0
+
+
 def cmd_characterize(args):
     from repro.eval.characterization import (
         characterize_suite, format_characterization)
@@ -266,6 +347,19 @@ def build_parser():
     p = sub.add_parser("blocks", help="show the basic-block/DCS map")
     p.add_argument("source")
     p.set_defaults(func=cmd_blocks)
+
+    p = sub.add_parser(
+        "lint", help="statically verify sources/objects without running them")
+    p.add_argument("inputs", nargs="*",
+                   help="assembly sources (embedded first) or .aro objects")
+    p.add_argument("--all-workloads", action="store_true",
+                   help="also lint every bundled workload's embedded binary")
+    p.add_argument("--format", default="text", choices=("text", "json"))
+    p.add_argument("--plain", action="store_true",
+                   help="lint sources as plain (un-embedded) binaries")
+    p.add_argument("--max-block", type=int, default=None,
+                   help="override the MAX_BLOCK_INSNS bound")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("run", help="execute an object or source file")
     p.add_argument("input")

@@ -221,7 +221,6 @@ class CheckedCore:
         if self.halted:
             raise RuntimeError("core is halted")
         tap = self._tap
-        detect = self.detect
 
         if tap("ctl.hang", 0):
             return self._hang()
@@ -391,7 +390,6 @@ class CheckedCore:
     def _exec_alu(self, fu, chk, a_val, b_val):
         """Register/immediate ALU ops with their sub-checker replays."""
         tap = self._tap
-        detect = self.detect
         op = fu.op
         if op in (Op.ADDI, Op.ANDI, Op.ORI, Op.XORI):
             b_val = fu.imm & WORD_MASK
@@ -477,7 +475,6 @@ class CheckedCore:
 
     def _exec_load(self, fu, chk, a_val):
         tap = self._tap
-        detect = self.detect
         op = fu.op
         address = tap("lsu.addr", (a_val + fu.imm) & WORD_MASK)
         if self._chk_comp and not self.adder.check_address(a_val, fu.imm & WORD_MASK, address):
@@ -507,7 +504,6 @@ class CheckedCore:
 
     def _exec_store(self, fu, chk, a_val, b_val):
         tap = self._tap
-        detect = self.detect
         op = fu.op
         address = tap("lsu.addr", (a_val + fu.imm) & WORD_MASK)
         if self._chk_comp and not self.adder.check_address(a_val, fu.imm & WORD_MASK, address):

@@ -25,8 +25,7 @@ from typing import Optional
 from repro.argus.errors import ArgusError
 from repro.cpu.checkedcore import CheckedCore
 from repro.faults.injector import SignalInjector
-from repro.faults.model import (FaultSchedule, INTERMITTENT, PERMANENT,
-                                TRANSIENT, StateFaultApplier)
+from repro.faults.model import FaultSchedule, PERMANENT, TRANSIENT
 from repro.faults.points import build_point_population, sample_points
 from repro.faults.stress import build_stress_program
 

@@ -12,6 +12,7 @@ from repro.io.objfile import (
     ObjFileError,
     load_embedded,
     load_program,
+    load_raw,
     save_embedded,
     save_program,
 )
@@ -20,6 +21,7 @@ __all__ = [
     "ObjFileError",
     "load_embedded",
     "load_program",
+    "load_raw",
     "save_embedded",
     "save_program",
 ]

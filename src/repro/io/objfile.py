@@ -65,11 +65,12 @@ def _program_from_dict(payload):
             entry=int(payload["entry"]),
             stmts=None,  # source IR does not survive serialization
             insn_addrs={},
-            codeptr_sites=[(int(a), str(l)) for a, l in payload["codeptr_sites"]],
+            codeptr_sites=[(int(addr), str(label))
+                           for addr, label in payload["codeptr_sites"]],
             lines=[],
         )
     except (KeyError, TypeError, ValueError) as exc:
-        raise ObjFileError("malformed object file: %s" % exc)
+        raise ObjFileError("malformed object file: %s" % exc) from exc
     return program
 
 
@@ -84,6 +85,21 @@ def load_program(path):
     with open(path) as handle:
         payload = json.load(handle)
     return _program_from_dict(payload)
+
+
+def load_raw(path):
+    """Load any object file *without* verification.
+
+    Returns ``(program, header)`` where ``header`` is the decoded JSON
+    payload (so callers can read ``kind`` and ``entry_dcs`` for
+    themselves).  This is the loader the static analyzer uses: the
+    whole point of ``argus-repro lint`` is to diagnose defective
+    binaries, so it must be able to load objects that
+    :func:`load_embedded` would reject.
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    return _program_from_dict(payload), payload
 
 
 def save_embedded(embedded, path):
@@ -119,7 +135,7 @@ def load_embedded(path):
             capacity_sigs=payload.get("capacity_sigs"),
         )
     except EmbedError as exc:
-        raise ObjFileError("embedding verification failed: %s" % exc)
+        raise ObjFileError("embedding verification failed: %s" % exc) from exc
     stored_dcs = payload.get("entry_dcs")
     if stored_dcs != embedded.entry_dcs:
         raise ObjFileError(

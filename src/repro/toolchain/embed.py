@@ -93,7 +93,9 @@ def scan_hardware_blocks(program):
             instr = decode(words[j])
             if instr.is_branch:
                 if j + 1 >= n:
-                    raise EmbedError("branch at 0x%x has no delay slot" % (base + 4 * j))
+                    raise EmbedError(
+                        "block at 0x%x: branch at 0x%x has no delay slot "
+                        "inside the text segment" % (start, base + 4 * j))
                 terminal = base + 4 * j
                 kind = payload_mod.terminal_kind(instr)
                 j += 2  # include the delay slot
@@ -110,7 +112,10 @@ def scan_hardware_blocks(program):
                 break
             j += 1
         if terminal is None:
-            raise EmbedError("text ends without a block terminal (missing halt?)")
+            raise EmbedError(
+                "block at 0x%x (%d insns) reaches the end of the text "
+                "segment without a terminal (missing halt?)"
+                % (start, n - i))
         blocks[start] = BlockInfo(start=start, end=base + 4 * j, kind=kind, terminal=terminal)
         i = j
     return blocks
@@ -125,6 +130,12 @@ def _compute_block_dcs(program, block):
         apply_instruction(shs, instr)
         addr += 4
     return dcs_of_file(shs)
+
+
+def _block_context(block):
+    """Human-readable block identity for error messages."""
+    return "block 0x%x (%s terminal, %d insns)" % (
+        block.start, block.kind, block.num_insns)
 
 
 def _successor_dcs(program, blocks, address, context):
@@ -192,7 +203,7 @@ def verify_embedding(program, base_words=None, terminator_sigs=None,
         try:
             extracted = collector.extract(block.kind)
         except PayloadError as exc:
-            raise EmbedError("block 0x%x: %s" % (block.start, exc))
+            raise EmbedError("block 0x%x: %s" % (block.start, exc)) from exc
         if extracted != fields:
             raise EmbedError(
                 "block 0x%x: embedded payload %r does not match computed "
@@ -223,12 +234,18 @@ def verify_embedding(program, base_words=None, terminator_sigs=None,
 
 
 def embed_program(source_or_stmts, text_base=DEFAULT_TEXT_BASE, data_base=None,
-                  max_block=MAX_BLOCK_INSNS, force_nops=False):
+                  max_block=MAX_BLOCK_INSNS, force_nops=False, verify=False):
     """Run all three embedding phases; returns an :class:`EmbeddedProgram`.
 
     Accepts assembly source text or a parsed statement list.
     ``force_nops=True`` disables the unused-bit optimization (every block
     carries an explicit Signature NOP) - the embedding-cost ablation.
+
+    ``verify=True`` runs the independent static analyzer
+    (:func:`repro.analysis.analyze_embedded`) over the result and raises
+    :class:`EmbedError` if it reports any error - a post-embed gate that
+    does not share this module's block bookkeeping, so it catches
+    embedder bugs the embedder cannot see itself.
     """
     stmts = parse(source_or_stmts) if isinstance(source_or_stmts, str) else source_or_stmts
     base_program = assemble(stmts, text_base=text_base, data_base=data_base)
@@ -245,36 +262,43 @@ def embed_program(source_or_stmts, text_base=DEFAULT_TEXT_BASE, data_base=None,
 
     # Phase 3: successor determination + payload/jump-table embedding.
     for block in blocks.values():
-        fields = {}
-        if block.kind in ("cond", "jump", "call"):
-            terminal = decode(program.word_at(block.terminal))
-            target = (block.terminal + 4 * terminal.offset) & 0xFFFFFFFF
-            if block.kind == "cond":
-                fields["taken"] = _successor_dcs(program, blocks, target, "branch at 0x%x" % block.terminal)
-                fields["fallthrough"] = _successor_dcs(program, blocks, block.end, "fall-through at 0x%x" % block.terminal)
-            elif block.kind == "jump":
-                fields["target"] = _successor_dcs(program, blocks, target, "jump at 0x%x" % block.terminal)
-            else:  # call
-                fields["target"] = _successor_dcs(program, blocks, target, "call at 0x%x" % block.terminal)
-                fields["link"] = _successor_dcs(program, blocks, block.end, "return point of call at 0x%x" % block.terminal)
-        elif block.kind == "indirect_call":
-            fields["link"] = _successor_dcs(program, blocks, block.end, "return point of jalr at 0x%x" % block.terminal)
-        elif block.kind == "fallthrough":
-            fields["next"] = _successor_dcs(program, blocks, block.end, "fall-through at 0x%x" % block.terminal)
-        # indirect and halt terminals embed nothing.
-        block.fields = fields
+        try:
+            fields = {}
+            if block.kind in ("cond", "jump", "call"):
+                terminal = decode(program.word_at(block.terminal))
+                target = (block.terminal + 4 * terminal.offset) & 0xFFFFFFFF
+                if block.kind == "cond":
+                    fields["taken"] = _successor_dcs(program, blocks, target, "branch at 0x%x" % block.terminal)
+                    fields["fallthrough"] = _successor_dcs(program, blocks, block.end, "fall-through at 0x%x" % block.terminal)
+                elif block.kind == "jump":
+                    fields["target"] = _successor_dcs(program, blocks, target, "jump at 0x%x" % block.terminal)
+                else:  # call
+                    fields["target"] = _successor_dcs(program, blocks, target, "call at 0x%x" % block.terminal)
+                    fields["link"] = _successor_dcs(program, blocks, block.end, "return point of call at 0x%x" % block.terminal)
+            elif block.kind == "indirect_call":
+                fields["link"] = _successor_dcs(program, blocks, block.end, "return point of jalr at 0x%x" % block.terminal)
+            elif block.kind == "fallthrough":
+                fields["next"] = _successor_dcs(program, blocks, block.end, "fall-through at 0x%x" % block.terminal)
+            # indirect and halt terminals embed nothing.
+            block.fields = fields
 
-        names = payload_mod.payload_fields(block.kind)
-        if tuple(fields) != names:
-            raise EmbedError("field mismatch for %s block at 0x%x" % (block.kind, block.start))
-        bits = payload_mod.fields_to_bits([fields[name] for name in names])
-        if bits:
-            first = (block.start - program.text_base) >> 2
-            count = block.num_insns
-            words = program.words[first:first + count]
-            ops = [decode(w).op for w in words]
-            packed = payload_mod.embed_bits(words, ops, bits)
-            program.words[first:first + count] = packed
+            names = payload_mod.payload_fields(block.kind)
+            if tuple(fields) != names:
+                raise EmbedError("successor fields %r do not match the %r "
+                                 "payload convention %r"
+                                 % (tuple(fields), block.kind, names))
+            bits = payload_mod.fields_to_bits([fields[name] for name in names])
+            if bits:
+                first = (block.start - program.text_base) >> 2
+                count = block.num_insns
+                words = program.words[first:first + count]
+                ops = [decode(w).op for w in words]
+                packed = payload_mod.embed_bits(words, ops, bits)
+                program.words[first:first + count] = packed
+        except payload_mod.PayloadError as exc:
+            raise EmbedError("%s: %s" % (_block_context(block), exc)) from exc
+        except EmbedError as exc:
+            raise EmbedError("%s: %s" % (_block_context(block), exc)) from exc
 
     # Jump tables / function pointers: tag with the target block's DCS.
     for site, label in program.codeptr_sites:
@@ -288,7 +312,7 @@ def embed_program(source_or_stmts, text_base=DEFAULT_TEXT_BASE, data_base=None,
     if entry_block is None:
         raise EmbedError("entry point 0x%x is not a basic-block start" % program.entry)
 
-    return EmbeddedProgram(
+    embedded = EmbeddedProgram(
         program=program,
         entry_dcs=entry_block.dcs,
         blocks=blocks,
@@ -296,3 +320,13 @@ def embed_program(source_or_stmts, text_base=DEFAULT_TEXT_BASE, data_base=None,
         capacity_sigs=capacity_sigs,
         base_words=len(base_program.words),
     )
+    if verify:
+        # Imported lazily: repro.analysis depends on this module.
+        from repro.analysis import analyze_embedded
+
+        report = analyze_embedded(embedded, max_block=max_block)
+        if not report.ok:
+            raise EmbedError(
+                "static verification of the embedded binary failed:\n%s"
+                % "\n".join(d.format() for d in report.errors))
+    return embedded

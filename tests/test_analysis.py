@@ -1,0 +1,372 @@
+"""Unit tests for the static binary verifier (:mod:`repro.analysis`)."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    CODES,
+    ERROR,
+    WARNING,
+    AnalysisReport,
+    Diagnostic,
+    analyze_embedded,
+    analyze_program,
+    recover_cfg,
+)
+from repro.analysis.cfg import reachable_blocks
+from repro.analysis.signatures import derive_block_dcs
+from repro.asm import assemble, parse
+from repro.cli import main as cli_main
+from repro.isa.decode import decode
+from repro.toolchain import EmbedError, embed_program
+
+SIMPLE = """
+start:  li   r1, 3
+loop:   addi r1, r1, -1
+        sfgtsi r1, 0
+        bf   loop
+        nop
+        halt
+"""
+
+CALLS = """
+start:  li   r2, 1
+        jal  fn
+        nop
+        lwz  r3, 0(r2)
+        halt
+fn:     add  r2, r2, r2
+        ret
+        nop
+        .data
+        .word 0
+"""
+
+
+def analyze_source(source, **kwargs):
+    kwargs.setdefault("check_signatures", False)
+    return analyze_program(assemble(parse(source)), **kwargs)
+
+
+class TestDiagnosticFramework:
+    def test_codes_registry_shape(self):
+        assert len(CODES) >= 13
+        for code, (severity, summary) in CODES.items():
+            assert code.startswith("ARG") and len(code) == 6
+            assert severity in (ERROR, WARNING)
+            assert summary
+
+    def test_add_validates_code(self):
+        report = AnalysisReport()
+        with pytest.raises(ValueError):
+            report.add("ARG999", "nope")
+
+    def test_severity_defaults_from_registry(self):
+        report = AnalysisReport()
+        report.add("ARG001", "bad word", address=0x1000)
+        report.add("ARG005", "island", block=0x2000)
+        assert [d.severity for d in report.diagnostics] == [ERROR, WARNING]
+        assert not report.ok
+        assert len(report.errors) == 1 and len(report.warnings) == 1
+
+    def test_format_includes_code_address_and_block(self):
+        diagnostic = Diagnostic(ERROR, "ARG010", "mismatch",
+                                address=0x1004, block=0x1000)
+        text = diagnostic.format()
+        assert "ARG010" in text
+        assert "0x1004" in text and "0x1000" in text
+
+    def test_render_text_and_json_agree(self):
+        report = AnalysisReport()
+        report.add("ARG003", "too big", address=0x1000, block=0x1000)
+        assert "1 error(s), 0 warning(s)" in report.render_text()
+        payload = json.loads(report.render_json())
+        assert payload["ok"] is False
+        assert payload["diagnostics"][0]["code"] == "ARG003"
+
+    def test_ok_with_warnings_only(self):
+        report = AnalysisReport()
+        report.add("ARG013", "maybe-undefined read")
+        assert report.ok
+
+
+class TestCfgRecovery:
+    def test_matches_embedder_partition(self):
+        embedded = embed_program(CALLS)
+        cfg = recover_cfg(embedded.program)
+        assert list(cfg.blocks) == list(embedded.blocks)
+        for start, block in cfg.blocks.items():
+            hardware = embedded.blocks[start]
+            assert (block.end, block.kind) == (hardware.end, hardware.kind)
+
+    def test_never_raises_on_garbage(self):
+        program = assemble(parse(SIMPLE))
+        program.words[1] = 0xFFFFFFFF
+        cfg = recover_cfg(program)
+        assert any(not b.fully_decoded for b in cfg.blocks.values())
+
+    def test_reachability_covers_call_and_return(self):
+        embedded = embed_program(CALLS)
+        cfg = recover_cfg(embedded.program)
+        assert reachable_blocks(cfg) == set(cfg.blocks)
+
+    def test_block_containing(self):
+        cfg = recover_cfg(assemble(parse(SIMPLE)))
+        first = next(iter(cfg.blocks.values()))
+        assert cfg.block_containing(first.start) is first
+        assert cfg.block_containing(first.end - 4) is first
+        assert cfg.block_containing(cfg.text_end) is None
+
+
+class TestStructuralLints:
+    def test_clean_program_is_clean(self):
+        report = analyze_embedded(embed_program(SIMPLE))
+        assert report.ok
+        assert not report.diagnostics
+
+    def test_arg001_undecodable_word(self):
+        embedded = embed_program(SIMPLE)
+        embedded.program.words[1] = 0xFFFFFFFF
+        report = analyze_program(embedded.program,
+                                 expected_entry_dcs=embedded.entry_dcs)
+        bad = report.by_code("ARG001")
+        assert bad and bad[0].address == embedded.program.text_base + 4
+
+    def test_arg002_branch_into_delay_slot(self):
+        report = analyze_source("start: j 3\nnop\nj 2\nnop\nhalt")
+        assert report.by_code("ARG002")
+
+    def test_arg003_oversize_block(self):
+        body = "\n".join("add r1, r1, r2" for _ in range(30))
+        report = analyze_source("start:\n%s\nhalt" % body, dataflow=False)
+        oversize = report.by_code("ARG003")
+        assert oversize and oversize[0].block == 0x1000
+
+    def test_arg003_respects_max_block_override(self):
+        body = "\n".join("add r1, r1, r2" for _ in range(10))
+        source = "start:\n%s\nhalt" % body
+        assert not analyze_source(source, dataflow=False).by_code("ARG003")
+        small = analyze_source(source, dataflow=False, max_block=4)
+        assert small.by_code("ARG003")
+
+    def test_arg004_missing_terminal(self):
+        report = analyze_source("start: addi r1, r0, 1\nadd r2, r1, r1")
+        assert report.by_code("ARG004")
+
+    def test_arg004_truncated_embedded_binary(self):
+        embedded = embed_program(SIMPLE)
+        embedded.program.words.pop()
+        report = analyze_program(embedded.program,
+                                 expected_entry_dcs=embedded.entry_dcs)
+        assert report.by_code("ARG004")
+
+    def test_arg005_unreachable_block_is_warning(self):
+        report = analyze_source(
+            "start: j fin\nnop\ndead: addi r1, r0, 1\nhalt\nfin: halt")
+        island = report.by_code("ARG005")
+        assert island and island[0].severity == WARNING
+        assert report.ok  # warnings do not fail the lint
+
+    def test_arg006_capacity_overflow(self):
+        # A cond block of loads/stores exposes no spare bits at all.
+        report = analyze_program(
+            assemble(parse("start: lwz r1, 0(r2)\nbf 2\nlwz r3, 0(r2)\nhalt")),
+            check_signatures=True, dataflow=False)
+        assert report.by_code("ARG006")
+
+    def test_arg007_branch_into_block_middle(self):
+        report = analyze_source(
+            "start: addi r1, r0, 1\naddi r1, r1, 1\nj -1\nnop\nhalt")
+        assert report.by_code("ARG007")
+
+    def test_arg008_branch_out_of_text(self):
+        report = analyze_source("start: j 100\nnop\nhalt")
+        assert report.by_code("ARG008")
+
+    def test_arg009_requires_front_end_disagreement(self):
+        # A clean binary: both front ends agree, no ARG009.
+        report = analyze_embedded(embed_program(CALLS))
+        assert not report.by_code("ARG009")
+
+
+class TestSignatureVerification:
+    def test_arg010_flipped_payload_bit(self):
+        from repro.argus.payload import payload_positions
+
+        embedded = embed_program(SIMPLE)
+        program = embedded.program
+        block = next(b for b in embedded.blocks.values() if b.fields)
+        flipped = False
+        for addr in range(block.start, block.end, 4):
+            word = program.word_at(addr)
+            positions = payload_positions(decode(word).op)
+            if positions:
+                program.set_word(addr, word ^ (1 << positions[0]))
+                flipped = True
+                break
+        assert flipped
+        report = analyze_program(program,
+                                 expected_entry_dcs=embedded.entry_dcs)
+        mismatch = report.by_code("ARG010")
+        assert mismatch and mismatch[0].block == block.start
+
+    def test_arg011_corrupted_codeptr_tag(self):
+        source = CALLS + "table: .codeptr fn\n"
+        embedded = embed_program(source)
+        program = embedded.program
+        site, _label = program.codeptr_sites[0]
+        offset = site - program.data_base
+        pointer = int.from_bytes(program.data[offset:offset + 4], "little")
+        program.data[offset:offset + 4] = \
+            (pointer ^ (1 << 29)).to_bytes(4, "little")
+        report = analyze_program(program,
+                                 expected_entry_dcs=embedded.entry_dcs)
+        tag = report.by_code("ARG011")
+        assert tag and tag[0].address == site
+
+    def test_arg012_wrong_entry_dcs(self):
+        embedded = embed_program(SIMPLE)
+        report = analyze_program(embedded.program,
+                                 expected_entry_dcs=embedded.entry_dcs ^ 1)
+        entry = report.by_code("ARG012")
+        assert entry and entry[0].block == embedded.program.entry
+
+    def test_derive_matches_embedder_dcs(self):
+        embedded = embed_program(CALLS)
+        derived = derive_block_dcs(recover_cfg(embedded.program))
+        for start, block in embedded.blocks.items():
+            assert derived[start] == block.dcs
+
+
+class TestDataflow:
+    def test_arg013_use_before_def(self):
+        report = analyze_source("start: add r2, r1, r1\nhalt")
+        reads = report.by_code("ARG013")
+        assert reads and reads[0].severity == WARNING
+        assert "r1" in reads[0].message
+
+    def test_flag_read_before_compare(self):
+        report = analyze_source("start: bf 2\nnop\nhalt")
+        assert any("compare flag" in d.message
+                   for d in report.by_code("ARG013"))
+
+    def test_defined_on_all_paths_is_clean(self):
+        report = analyze_source(SIMPLE)
+        assert not report.by_code("ARG013")
+
+    def test_r0_always_defined(self):
+        report = analyze_source("start: add r1, r0, r0\nhalt")
+        assert not report.by_code("ARG013")
+
+    def test_call_fallthrough_carries_call_site_state(self):
+        # r2 is defined before the call; the return point must still
+        # see it even though the callee defines nothing new.
+        report = analyze_source(CALLS)
+        assert not report.by_code("ARG013")
+
+
+class TestEmbedVerifyGate:
+    def test_verify_true_passes_clean_source(self):
+        embedded = embed_program(SIMPLE, verify=True)
+        assert embedded.entry_dcs == embed_program(SIMPLE).entry_dcs
+
+    def test_verify_gate_catches_broken_embedder(self, monkeypatch):
+        import repro.toolchain.embed as embed_mod
+
+        real = embed_mod.payload_mod.embed_bits
+
+        def sabotage(words, ops, bits):
+            packed = real(words, ops, bits)
+            from repro.argus.payload import payload_positions
+            for index, op in enumerate(ops):
+                positions = payload_positions(op)
+                if positions:
+                    packed[index] ^= 1 << positions[0]
+                    break
+            return packed
+
+        monkeypatch.setattr(embed_mod.payload_mod, "embed_bits", sabotage)
+        with pytest.raises(EmbedError, match="ARG01"):
+            embed_program(SIMPLE, verify=True)
+        # Without the gate the broken embedding sails through.
+        embed_program(SIMPLE, verify=False)
+
+
+class TestEmbedErrorMessages:
+    def test_missing_delay_slot_names_block(self):
+        from repro.toolchain.embed import scan_hardware_blocks
+
+        with pytest.raises(EmbedError, match=r"block at 0x1000.*delay slot"):
+            scan_hardware_blocks(
+                assemble(parse("start: addi r1, r0, 1\nj start")))
+
+    def test_missing_terminal_reports_insn_count(self):
+        from repro.toolchain.embed import scan_hardware_blocks
+
+        with pytest.raises(EmbedError, match=r"block at 0x1000 \(2 insns\)"):
+            scan_hardware_blocks(
+                assemble(parse("start: addi r1, r0, 1\nadd r2, r1, r1")))
+
+    def test_phase3_errors_carry_block_context(self):
+        source = "start: addi r1, r0, 1\naddi r2, r0, 2\nj -1\nnop\nhalt"
+        with pytest.raises(EmbedError,
+                           match=r"block 0x1000 \(jump terminal, 4 insns\)"):
+            embed_program(source)
+
+
+class TestLintCli:
+    @pytest.fixture()
+    def source_file(self, tmp_path):
+        path = tmp_path / "prog.s"
+        path.write_text(SIMPLE)
+        return str(path)
+
+    def test_lint_clean_source_exits_zero(self, capsys, source_file):
+        assert cli_main(["lint", source_file]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_clean_object(self, capsys, source_file, tmp_path):
+        obj = str(tmp_path / "prog.aro")
+        assert cli_main(["asm", source_file, "-o", obj, "--embed"]) == 0
+        capsys.readouterr()
+        assert cli_main(["lint", obj]) == 0
+
+    def test_lint_corrupted_object_exits_one(self, capsys, source_file,
+                                             tmp_path):
+        obj = str(tmp_path / "prog.aro")
+        cli_main(["asm", source_file, "-o", obj, "--embed"])
+        with open(obj) as handle:
+            payload = json.load(handle)
+        word = int(payload["words"][0], 16)
+        payload["words"][0] = "0x%08x" % (word ^ 1)
+        with open(obj, "w") as handle:
+            json.dump(payload, handle)
+        capsys.readouterr()
+        assert cli_main(["lint", obj]) == 1
+        out = capsys.readouterr().out
+        assert "error[ARG" in out
+
+    def test_lint_json_format(self, capsys, source_file):
+        assert cli_main(["lint", "--format", "json", source_file]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["targets"][0]["diagnostics"] == []
+
+    def test_lint_plain_mode(self, capsys, tmp_path):
+        path = tmp_path / "plain.s"
+        path.write_text("start: add r2, r1, r1\nhalt\n")
+        assert cli_main(["lint", "--plain", str(path)]) == 0
+        assert "ARG013" in capsys.readouterr().out
+
+    def test_lint_missing_file_exits_two(self, capsys, tmp_path):
+        assert cli_main(["lint", str(tmp_path / "missing.aro")]) == 2
+
+    def test_lint_unembeddable_source_exits_two(self, capsys, tmp_path):
+        path = tmp_path / "broken.s"
+        path.write_text("start: addi r1, r0, 1\n")  # no terminal
+        assert cli_main(["lint", str(path)]) == 2
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_lint_no_inputs_exits_two(self, capsys):
+        assert cli_main(["lint"]) == 2

@@ -1,0 +1,149 @@
+"""The static analyzer over the full workload suite + corruption matrix.
+
+Two halves of the same contract: every bundled workload's embedded
+binary must lint error-free, and seeded corruptions of those same
+binaries must each trigger the expected diagnostic code pinned to the
+right block.
+"""
+
+import pytest
+
+from repro.analysis import analyze_embedded, analyze_program
+from repro.argus.payload import payload_positions
+from repro.cli import main as cli_main
+from repro.isa.decode import decode
+from repro.toolchain import embed_program
+from repro.workloads import ALL_WORKLOADS, WORKLOADS
+from repro.workloads.fuzz import generate_program
+
+WORKLOAD_NAMES = sorted(WORKLOADS)
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_every_workload_lints_clean(name):
+    report = analyze_embedded(WORKLOADS[name].build_embedded())
+    assert report.ok, report.render_text()
+    assert not report.warnings, report.render_text()
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_fuzz_corpus_lints_clean(seed):
+    embedded = embed_program(generate_program(seed))
+    report = analyze_embedded(embedded)
+    assert report.ok, report.render_text()
+    assert not report.warnings, report.render_text()
+
+
+def test_lint_cli_all_workloads_clean(capsys):
+    assert cli_main(["lint", "--all-workloads"]) == 0
+    out = capsys.readouterr().out
+    for workload in ALL_WORKLOADS:
+        assert "%s: clean" % workload.name in out
+
+
+class TestCorruptionMatrix:
+    """Seeded mutations of real embedded workloads, one code each."""
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_flipped_payload_bit_is_arg010(self, name):
+        embedded = WORKLOADS[name].build_embedded()
+        program = embedded.program
+        block = next(b for b in embedded.blocks.values() if b.fields)
+        flipped = False
+        for addr in range(block.start, block.end, 4):
+            word = program.word_at(addr)
+            positions = payload_positions(decode(word).op)
+            if positions:
+                program.set_word(addr, word ^ (1 << positions[0]))
+                flipped = True
+                break
+        assert flipped, "no spare-bit word in the first field-bearing block"
+        report = analyze_program(program,
+                                 expected_entry_dcs=embedded.entry_dcs)
+        mismatch = report.by_code("ARG010")
+        assert mismatch, report.render_text()
+        assert mismatch[0].block == block.start
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_truncated_block_is_arg004(self, name):
+        embedded = WORKLOADS[name].build_embedded()
+        embedded.program.words.pop()
+        report = analyze_program(embedded.program,
+                                 expected_entry_dcs=embedded.entry_dcs)
+        truncated = report.by_code("ARG004")
+        assert truncated, report.render_text()
+        last_block = max(b.start for b in embedded.blocks.values())
+        assert truncated[0].block == last_block
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_undecodable_word_is_arg001(self, name):
+        embedded = WORKLOADS[name].build_embedded()
+        program = embedded.program
+        victim = program.text_base + 4
+        program.set_word(victim, 0xFFFFFFFF)
+        report = analyze_program(program,
+                                 expected_entry_dcs=embedded.entry_dcs)
+        bad = report.by_code("ARG001")
+        assert bad, report.render_text()
+        assert bad[0].address == victim
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_wrong_entry_dcs_is_arg012(self, name):
+        embedded = WORKLOADS[name].build_embedded()
+        report = analyze_program(embedded.program,
+                                 expected_entry_dcs=embedded.entry_dcs ^ 0x1F)
+        entry = report.by_code("ARG012")
+        assert entry, report.render_text()
+        assert entry[0].block == embedded.program.entry
+
+    def test_corrupted_codeptr_tag_is_arg011(self):
+        # The fuzz generator emits .codeptr jump tables; find a seed
+        # that uses one and corrupt the tag bits of its first site.
+        for seed in range(16):
+            embedded = embed_program(generate_program(seed))
+            if embedded.program.codeptr_sites:
+                break
+        else:
+            pytest.skip("no fuzz seed with a .codeptr site in range")
+        program = embedded.program
+        site, _label = program.codeptr_sites[0]
+        offset = site - program.data_base
+        pointer = int.from_bytes(program.data[offset:offset + 4], "little")
+        program.data[offset:offset + 4] = \
+            (pointer ^ (1 << 29)).to_bytes(4, "little")
+        report = analyze_program(program,
+                                 expected_entry_dcs=embedded.entry_dcs)
+        tag = report.by_code("ARG011")
+        assert tag, report.render_text()
+        assert tag[0].address == site
+
+    def test_distinct_code_coverage_floor(self):
+        """One scripted battery must statically detect >= 6 distinct codes."""
+        from repro.asm import assemble, parse
+
+        detected = set()
+
+        embedded = WORKLOADS["adpcm_enc"].build_embedded()
+        embedded.program.set_word(embedded.program.text_base + 4, 0xFFFFFFFF)
+        detected |= analyze_program(embedded.program).codes()  # ARG001
+
+        embedded = WORKLOADS["adpcm_enc"].build_embedded()
+        embedded.program.words.pop()
+        detected |= analyze_program(embedded.program).codes()  # ARG004
+
+        embedded = WORKLOADS["adpcm_enc"].build_embedded()
+        detected |= analyze_program(
+            embedded.program,
+            expected_entry_dcs=embedded.entry_dcs ^ 1).codes()  # ARG012
+
+        synthetic = {
+            "start: j 3\nnop\nj 2\nnop\nhalt",  # ARG002 (+ARG005)
+            "start:\n%s\nhalt" % "\n".join(
+                "add r1, r1, r2" for _ in range(30)),  # ARG003
+            "start: addi r1, r0, 1\naddi r1, r1, 1\nj -1\nnop\nhalt",  # ARG007
+            "start: j 100\nnop\nhalt",  # ARG008
+        }
+        for source in synthetic:
+            detected |= analyze_program(assemble(parse(source)),
+                                        check_signatures=False).codes()
+        assert len(detected) >= 6, sorted(detected)

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.eval.characterization import (
-    characterize,
     characterize_suite,
     format_characterization,
 )

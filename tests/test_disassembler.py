@@ -1,6 +1,9 @@
 """Unit tests for the disassembler (and its encode round-trips)."""
 
+import pytest
+
 from repro.asm import assemble, disassemble_program, disassemble_word, parse
+from repro.asm.disassembler import decode_text, disassemble_to_source
 from repro.isa.encoding import encode
 from repro.isa.opcodes import Cond, Op
 
@@ -70,3 +73,106 @@ done:   halt
                 reassembled.append(text)
         retext = "\n".join(reassembled) + "\nhalt"
         assemble(parse(retext))  # must parse and encode cleanly
+
+
+def canonical_words(program):
+    """Text words with the spare (payload) bits cleared.
+
+    Assembly source cannot express packed successor-DCS payloads - the
+    spare bits are, by construction, ignored by the decoder - so a
+    source-level round trip reproduces exactly the canonical words (the
+    ones the SHS/DCS computation hashes)."""
+    from repro.argus.payload import payload_positions
+    from repro.isa.decode import decode
+
+    out = []
+    for word in program.words:
+        mask = 0
+        for position in payload_positions(decode(word).op):
+            mask |= 1 << position
+        out.append(word & ~mask)
+    return out
+
+
+def assert_roundtrip(program, canonical=False):
+    """assemble(parse(disassemble_to_source(p))) is word- and data-identical.
+
+    With ``canonical=True`` (embedded binaries) the comparison is over
+    the canonical words instead - see :func:`canonical_words`."""
+    source = disassemble_to_source(program)
+    again = assemble(parse(source), text_base=program.text_base,
+                     data_base=program.data_base)
+    if canonical:
+        assert again.words == canonical_words(program)
+    else:
+        assert again.words == program.words
+    assert bytes(again.data) == bytes(program.data)
+    assert again.entry == program.entry
+
+
+class TestDecodeText:
+    def test_yields_one_item_per_word(self):
+        program = assemble(parse("start: nop\nadd r1, r2, r3\nhalt"))
+        items = decode_text(program)
+        assert len(items) == len(program.words)
+        assert [a for a, _, _ in items] == \
+            list(range(program.text_base, program.text_end, 4))
+
+    def test_undecodable_word_becomes_none(self):
+        program = assemble(parse("start: nop\nhalt"))
+        program.words[0] = 0xFFFFFFFF
+        items = decode_text(program)
+        assert items[0][2] is None
+        assert items[1][2] is not None
+
+
+class TestRoundtripProperty:
+    """Full source-level round trip: the reproduced binary is identical."""
+
+    def test_simple_program(self):
+        source = """
+start:  li r1, 42
+        la r6, buf
+loop:   addi r1, r1, -1
+        sw r1, 0(r6)
+        sfgtsi r1, 0
+        bf loop
+        nop
+        halt
+        .data
+buf:    .word 0xDEADBEEF
+        .byte 1, 2, 3
+"""
+        assert_roundtrip(assemble(parse(source)))
+
+    def test_undecodable_word_raises(self):
+        program = assemble(parse("start: nop\nhalt"))
+        program.words[0] = 0xFFFFFFFF
+        with pytest.raises(ValueError):
+            disassemble_to_source(program)
+
+    def test_all_workloads_roundtrip(self):
+        from repro.workloads import ALL_WORKLOADS
+
+        for workload in ALL_WORKLOADS:
+            assert_roundtrip(workload.build_base())
+
+    def test_embedded_workloads_roundtrip_canonically(self):
+        """Embedded binaries round-trip to their canonical words: the
+        mnemonics, Signature T bits and tagged jump-table data all
+        survive the source form; only the packed spare-bit payload
+        (inexpressible in assembly) is cleared."""
+        from repro.workloads import WORKLOADS
+
+        for name in ("adpcm_enc", "epic", "jpeg_dec"):
+            assert_roundtrip(WORKLOADS[name].build_embedded().program,
+                             canonical=True)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fuzz_corpus_roundtrip(self, seed):
+        from repro.toolchain import embed_program
+        from repro.workloads.fuzz import generate_program
+
+        source = generate_program(seed)
+        assert_roundtrip(assemble(parse(source)))
+        assert_roundtrip(embed_program(source).program, canonical=True)

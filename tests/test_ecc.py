@@ -1,6 +1,5 @@
 """Tests for the SEC-DED (Hamming 39,32 + parity) protected memory."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.mem.ecc import EccMemory, decode_secded, encode_secded

@@ -5,7 +5,7 @@ import pytest
 
 from repro.argus.errors import MemoryCheckError
 from repro.argus.scrubber import Scrubber, scrub_latency_bound
-from repro.cpu import CheckedCore, LockstepCore, LockstepMismatch
+from repro.cpu import LockstepCore
 from repro.faults.injector import SignalInjector
 from repro.faults.model import FaultSpec
 from repro.mem.checked import CheckedMemory

@@ -5,7 +5,6 @@ test_properties.py's inline generator: jump tables, sub-word memory,
 diamonds, loops, calls and divides, all composed randomly.
 """
 
-import random
 
 from hypothesis import given, settings, strategies as st
 

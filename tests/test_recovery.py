@@ -98,7 +98,7 @@ class TestRecoveringCore:
             if steps == 30:
                 injector.enable()
             try:
-                record = core.step()
+                core.step()
             except Exception:
                 injector.disable()
                 recovering.rollbacks += 1

@@ -8,7 +8,7 @@ import pytest
 from repro.faults.campaign import CampaignSummary, ExperimentResult
 from repro.faults.model import PERMANENT, TRANSIENT, FaultSpec
 from repro.faults.points import build_point_population
-from repro.runner import (Journal, JournalError, JournalMismatch, derive_seed,
+from repro.runner import (Journal, JournalMismatch, derive_seed,
                           plan_campaign, record_to_result, result_to_record)
 from repro.runner.telemetry import (EVENT_EXPERIMENT, EVENT_FINISH,
                                     EVENT_START, CallbackTelemetry,

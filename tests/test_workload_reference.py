@@ -8,7 +8,6 @@ assembly to its intent - a regression in either the kernels or the
 simulator's arithmetic shows up as a reference mismatch.
 """
 
-import pytest
 
 from repro.cpu import FastCore
 from repro.workloads import WORKLOADS
