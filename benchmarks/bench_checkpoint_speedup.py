@@ -1,0 +1,111 @@
+"""Checkpoint-accelerated campaign wall-clock speedup, checkpoints on vs off.
+
+Runs the same seed-pinned transient campaign twice - once cold (every
+experiment replays the workload from instruction 0) and once warm
+(experiments restore the nearest golden checkpoint at or before their
+injection point) - asserts the classifications are *bit-identical*
+per experiment (quadrant, checker attribution, detection latencies),
+and records the speedup as JSON.
+
+There is deliberately no timing gate: CI machines are too noisy to
+assert wall-clock ratios, so CI only enforces the classification match
+and uploads the record as an artifact.  The committed
+``BENCH_checkpoint_speedup.json`` (regenerate with
+``python benchmarks/bench_checkpoint_speedup.py``) documents the
+speedup on a quiet machine; the acceptance bar is >=1.5x at the
+default 500-experiment size.
+
+Size via ``ARGUS_CHECKPOINT_EXPERIMENTS`` (default 500), output path
+via ``ARGUS_CHECKPOINT_RECORD``.
+"""
+
+import json
+import os
+import time
+
+from repro.faults.campaign import Campaign
+from repro.faults.model import TRANSIENT
+
+EXPERIMENTS = int(os.environ.get("ARGUS_CHECKPOINT_EXPERIMENTS", "500"))
+SEED = 2007
+RECORD_PATH = os.environ.get(
+    "ARGUS_CHECKPOINT_RECORD",
+    os.path.join(os.path.dirname(__file__), "BENCH_checkpoint_speedup.json"))
+
+
+def _result_key(result):
+    return (result.quadrant, result.checker, result.detail, result.inject_at,
+            result.activated_at, result.hung, result.latency_instructions,
+            result.latency_cycles, result.latency_blocks)
+
+
+def run_comparison(experiments=EXPERIMENTS, seed=SEED):
+    """Run the campaign cold then warm; returns {label: (seconds, summary,
+    campaign)}.  Timing includes the golden run so the warm number pays
+    for building its own checkpoint set."""
+    out = {}
+    for label, use_checkpoints in (("off", False), ("on", True)):
+        campaign = Campaign(seed=seed, use_checkpoints=use_checkpoints)
+        start = time.perf_counter()
+        summary = campaign.run(experiments=experiments, duration=TRANSIENT)
+        out[label] = (time.perf_counter() - start, summary, campaign)
+    return out
+
+
+def check_classification(results):
+    """Warm and cold runs must be indistinguishable, per experiment."""
+    _, cold, _ = results["off"]
+    _, warm, _ = results["on"]
+    assert warm.fractions() == cold.fractions()
+    assert warm.checker_counts == cold.checker_counts
+    assert ([_result_key(r) for r in warm.results]
+            == [_result_key(r) for r in cold.results])
+
+
+def build_record(results):
+    cold_seconds, cold, _ = results["off"]
+    warm_seconds, _, campaign = results["on"]
+    store = campaign.checkpoints()
+    return {
+        "experiments": EXPERIMENTS,
+        "seed": SEED,
+        "golden_instructions": campaign.golden_length,
+        "checkpoints": len(store) if store is not None else 0,
+        "checkpoint_interval": store.interval if store is not None else None,
+        "cold_seconds": round(cold_seconds, 3),
+        "warm_seconds": round(warm_seconds, 3),
+        "cold_throughput": round(EXPERIMENTS / cold_seconds, 2),
+        "warm_throughput": round(EXPERIMENTS / warm_seconds, 2),
+        "speedup": round(cold_seconds / warm_seconds, 3),
+        "quadrants": cold.fractions(),
+    }
+
+
+def test_checkpoint_speedup(benchmark):
+    results = {}
+
+    def measure():
+        results.update(run_comparison())
+        return results
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    check_classification(results)
+
+    record = build_record(results)
+    benchmark.extra_info.update(
+        {k: v for k, v in record.items() if k != "quadrants"})
+    print("\n  " + json.dumps(record, sort_keys=True))
+
+
+def main():
+    results = run_comparison()
+    check_classification(results)
+    record = build_record(results)
+    with open(RECORD_PATH, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(record, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -61,12 +61,16 @@ class PowerEstimate:
 
 
 def activity_fractions(histogram, instructions, blocks_executed=None):
-    """Dynamic fractions of each activity class from an op histogram."""
+    """Dynamic fractions of each activity class from an op histogram.
+
+    ``histogram`` is keyed by op name (:attr:`RunResult.op_histogram`'s
+    JSON-safe convention).
+    """
     if not instructions:
         raise ValueError("empty run")
 
     def fraction(ops):
-        return sum(histogram.get(op, 0) for op in ops) / instructions
+        return sum(histogram.get(op.name, 0) for op in ops) / instructions
 
     alu_ops = (set(oc.ALU_FUNC) - oc.MULDIV_OPS) | {
         oc.Op.ADDI, oc.Op.ANDI, oc.Op.ORI, oc.Op.XORI, oc.Op.MOVHI,
@@ -77,7 +81,7 @@ def activity_fractions(histogram, instructions, blocks_executed=None):
     branches = oc.BRANCH_OPS
     if blocks_executed is None:
         # Every branch ends a block; fall-through boundaries add a few.
-        blocks_executed = sum(histogram.get(op, 0) for op in branches)
+        blocks_executed = sum(histogram.get(op.name, 0) for op in branches)
     return {
         "always": 1.0,
         "alu": fraction(alu_ops),

@@ -69,6 +69,14 @@ class ControlFlowChecker:
         self.expected = None if nxt is None else (nxt & 0x1F)
         return self.expected
 
+    # -- checkpointing -----------------------------------------------------
+    def snapshot(self):
+        """Immutable (expected, blocks_checked) capture."""
+        return (self.expected, self.blocks_checked)
+
+    def restore(self, snapshot):
+        self.expected, self.blocks_checked = snapshot
+
     # -- fault hook --------------------------------------------------------
     def corrupt_expected(self, bit):
         """Flip a bit of the anticipated-DCS latch (checker-state fault)."""

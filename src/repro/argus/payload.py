@@ -160,6 +160,13 @@ class PayloadCollector:
         """Bits collected so far for the current block."""
         return len(self._bits)
 
+    def snapshot(self):
+        """Immutable capture of the in-flight block's collected bits."""
+        return tuple(self._bits)
+
+    def restore(self, snapshot):
+        self._bits = list(snapshot)
+
     def extract(self, kind, width=5):
         """Parse collected bits into the fields of a ``kind`` terminal."""
         fields = _FIELDS_BY_KIND[kind]

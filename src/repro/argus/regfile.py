@@ -44,6 +44,16 @@ class CheckedRegisterFile:
         """Does the stored parity match the stored value right now?"""
         return self.parity[index] == parity32(self.values[index])
 
+    # -- checkpointing ---------------------------------------------------
+    def snapshot(self):
+        """Immutable (values, parity) capture for checkpointing."""
+        return (tuple(self.values), tuple(self.parity))
+
+    def restore(self, snapshot):
+        values, parity = snapshot
+        self.values = list(values)
+        self.parity = list(parity)
+
     # -- fault hooks -----------------------------------------------------
     def corrupt_value(self, index, bit):
         """Flip a stored value bit without touching parity (cell fault)."""

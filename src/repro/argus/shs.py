@@ -131,6 +131,10 @@ class ShsFile:
     def snapshot(self):
         return tuple(self.values)
 
+    def restore(self, snapshot):
+        """Write back a :meth:`snapshot` capture."""
+        self.values = list(snapshot)
+
 
 def apply_instruction(shs_file, instr, shs_overrides=None, dest_override=None):
     """Apply one instruction's SHS transfer function to ``shs_file``.

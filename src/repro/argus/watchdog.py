@@ -41,3 +41,11 @@ class Watchdog:
     def reset(self):
         self.counter = 0
         self.fired = False
+
+    # -- checkpointing ---------------------------------------------------
+    def snapshot(self):
+        """Immutable (counter, fired) capture."""
+        return (self.counter, self.fired)
+
+    def restore(self, snapshot):
+        self.counter, self.fired = snapshot

@@ -17,8 +17,9 @@ Commands:
   hot-block profile.
 * ``inject SOURCE --signal NAME --bit N [--at K]`` - run with one
   injected fault and report which checker (if any) detected it.
-* ``campaign [--workers N] [--journal PATH] [--resume]`` - parallel,
-  journaled fault-injection campaign with live telemetry (Table 1).
+* ``campaign [--workers N] [--journal PATH] [--resume]
+  [--no-checkpoints]`` - parallel, journaled, checkpoint-accelerated
+  fault-injection campaign with live telemetry (Table 1).
 * ``report [--experiments N] [--workers N]`` - the full
   paper-vs-measured report.
 
@@ -295,7 +296,9 @@ def cmd_campaign(args):
 
     durations = ((TRANSIENT, PERMANENT) if args.duration == "both"
                  else (args.duration,))
-    campaign = Campaign(seed=args.seed)
+    campaign = Campaign(seed=args.seed,
+                        use_checkpoints=not args.no_checkpoints,
+                        checkpoint_interval=args.checkpoint_interval)
     telemetry = NullTelemetry() if args.quiet else StderrTelemetry()
     dump = {}
     for duration in durations:
@@ -422,6 +425,12 @@ def build_parser():
     p.add_argument("--timeout", type=float, default=None,
                    help="seconds per experiment before a worker batch "
                         "is considered hung")
+    p.add_argument("--no-checkpoints", action="store_true",
+                   help="replay every run from instruction 0 instead of "
+                        "warm-starting from golden-run snapshots")
+    p.add_argument("--checkpoint-interval", type=int, default=None,
+                   help="dynamic instructions between golden-run "
+                        "snapshots (default: auto)")
     p.add_argument("--json", help="write a machine-readable summary here")
     p.add_argument("--quiet", action="store_true",
                    help="suppress live progress telemetry on stderr")

@@ -46,7 +46,7 @@ from repro.argus.watchdog import Watchdog
 from repro.cpu import alu
 from repro.cpu.fastcore import Timing
 from repro.isa import registers
-from repro.isa.decode import DecodeError, decode
+from repro.isa.decode import decode_or_none
 from repro.isa.opcodes import Op
 from repro.mem.checked import CheckedMemory, parity32
 from repro.mem.hierarchy import MemoryConfig, MemorySystem
@@ -128,7 +128,6 @@ class CheckedCore:
         self._in_delay = False
         self._delayed_target = 0
         self._pending_term = None  # (kind, taken_chk, indirect_dcs)
-        self._decode_cache = {}
 
     def _preload_dmem(self, program):
         """Initial EDC-protected state (Appendix A base case): the loader
@@ -150,16 +149,9 @@ class CheckedCore:
             if value:
                 self.dmem.store_word(base + full, value)
 
-    def _decode(self, word):
-        cache = self._decode_cache
-        if word in cache:
-            return cache[word]
-        try:
-            instr = decode(word)
-        except DecodeError:
-            instr = None  # executes as a NOP; the DCS sees the omission
-        cache[word] = instr
-        return instr
+    # Shared process-wide decode memo; undecodable words execute as NOPs
+    # and the DCS sees the omission.
+    _decode = staticmethod(decode_or_none)
 
     def _raise(self, exc_class, detail):
         raise exc_class(detail, pc=self.pc, cycle=self.cycles,
@@ -576,3 +568,25 @@ class CheckedCore:
             tuple(self.rf.values),
             self.dmem.functional_snapshot(),
         )
+
+    # -- checkpointing ---------------------------------------------------
+    def snapshot(self):
+        """Capture the complete core state as a compact, restorable
+        :class:`~repro.faults.checkpoint.CoreSnapshot` (see that module
+        for exactly what is and is not included)."""
+        from repro.faults.checkpoint import capture  # avoid import cycle
+
+        return capture(self)
+
+    def restore(self, snapshot):
+        """Restore a :meth:`snapshot` capture; returns self.
+
+        The core must have been built over the same embedded program
+        (instruction memory is shared, not captured).  The injector and
+        checker configuration are the core's own - restoring a golden
+        snapshot into a differently-configured core is exactly how the
+        campaign warm-starts its masking and detection runs.
+        """
+        from repro.faults.checkpoint import restore  # avoid import cycle
+
+        return restore(self, snapshot)

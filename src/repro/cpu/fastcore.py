@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.cpu import alu
 from repro.isa import registers
-from repro.isa.decode import decode
+from repro.isa.decode import decode_cached
 from repro.isa.opcodes import Op
 from repro.mem.hierarchy import MemorySystem, MemoryConfig
 
@@ -48,6 +48,8 @@ class RunResult:
     icache_misses: int
     dcache_hits: int
     dcache_misses: int
+    #: Dynamic instruction counts keyed by op *name* (e.g. ``"ADD"``), so
+    #: the record round-trips through JSON telemetry sinks unchanged.
     op_histogram: dict = field(default_factory=dict)
 
     @property
@@ -74,16 +76,10 @@ class FastCore:
         self.instret = 0
         self.sig_count = 0
         self.halted = False
-        self._decode_cache = {}
         self._histogram = {}
 
-    # ------------------------------------------------------------------
-    def _decode(self, word):
-        instr = self._decode_cache.get(word)
-        if instr is None:
-            instr = decode(word)
-            self._decode_cache[word] = instr
-        return instr
+    # Shared process-wide decode memo (decoding is pure per word).
+    _decode = staticmethod(decode_cached)
 
     def run(self, max_instructions=50_000_000, max_cycles=None):
         """Execute until ``halt``; returns a :class:`RunResult`.
@@ -218,7 +214,7 @@ class FastCore:
             icache_misses=stats_i.misses,
             dcache_hits=stats_d.hits,
             dcache_misses=stats_d.misses,
-            op_histogram=dict(histogram),
+            op_histogram={op.name: count for op, count in histogram.items()},
         )
 
     # -- inspection helpers ------------------------------------------------

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from repro.cpu import alu
 from repro.cpu.fastcore import Timing
 from repro.isa import registers
-from repro.isa.decode import decode
+from repro.isa.decode import decode_cached
 from repro.isa.opcodes import Op
 from repro.mem.hierarchy import MemoryConfig, MemorySystem
 
@@ -86,7 +86,6 @@ class PipelinedCore:
         self.halted = False
         self.fetch_stalls = 0
         self.ex_stalls = 0
-        self._decode_cache = {}
         # Stage latches (None = bubble).
         self._if_slot = None  # fetched, waiting for ID
         self._id_slot = None  # decoded, waiting for EX
@@ -98,12 +97,8 @@ class PipelinedCore:
         self._redirect = None  # target once the delay slot passed IF
         self._delay_pending = False
 
-    def _decode(self, word):
-        instr = self._decode_cache.get(word)
-        if instr is None:
-            instr = decode(word)
-            self._decode_cache[word] = instr
-        return instr
+    # Shared process-wide decode memo (decoding is pure per word).
+    _decode = staticmethod(decode_cached)
 
     # ------------------------------------------------------------------
     def run(self, max_cycles=200_000_000):

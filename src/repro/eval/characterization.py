@@ -43,7 +43,8 @@ def characterize(workload):
     total = result.instructions
 
     def fraction(ops):
-        return sum(histogram.get(op, 0) for op in ops) / total
+        # op_histogram is keyed by op name (JSON-safe convention).
+        return sum(histogram.get(op.name, 0) for op in ops) / total
 
     alu_ops = ((set(oc.ALU_FUNC) - oc.MULDIV_OPS)
                | {oc.Op.ADDI, oc.Op.ANDI, oc.Op.ORI, oc.Op.XORI,

@@ -24,6 +24,8 @@ from typing import Optional
 
 from repro.argus.errors import ArgusError
 from repro.cpu.checkedcore import CheckedCore
+from repro.faults.checkpoint import (CheckpointStore, masking_view_of,
+                                     record_checkpoints)
 from repro.faults.injector import SignalInjector
 from repro.faults.model import FaultSchedule, PERMANENT, TRANSIENT
 from repro.faults.points import build_point_population, sample_points
@@ -135,29 +137,74 @@ class CampaignSummary:
 
 
 class Campaign:
-    """A fault-injection campaign over one embedded workload."""
+    """A fault-injection campaign over one embedded workload.
+
+    ``use_checkpoints`` (default on) warm-starts every experiment's
+    masking and detection run from the nearest golden-run snapshot at or
+    before its injection point instead of replaying from instruction 0 -
+    a pure acceleration, classification is provably unchanged (the
+    differential test in ``tests/test_checkpoint.py`` asserts identical
+    quadrants, attribution and latencies with it on and off).  Pass
+    ``use_checkpoints=False`` as the escape hatch (or ``--no-checkpoints``
+    on the CLI); ``checkpoint_interval`` / ``max_checkpoints`` tune the
+    memory/speed trade-off (see :mod:`repro.faults.checkpoint`).
+    """
 
     def __init__(self, embedded=None, seed=0, run_slack=1.25,
-                 include_double_bits=True):
+                 include_double_bits=True, use_checkpoints=True,
+                 checkpoint_interval=None, max_checkpoints=None):
         self.embedded = embedded if embedded is not None else build_stress_program()
         self.seed = seed
         self.rng = random.Random(seed)
         self.points = build_point_population(include_double_bits=include_double_bits)
         self.run_slack = run_slack
+        self.use_checkpoints = use_checkpoints
+        self.checkpoint_interval = checkpoint_interval
+        self.max_checkpoints = max_checkpoints
         self._golden = None
         self._golden_final = None
+        self._checkpoints = None
 
     # -- golden reference --------------------------------------------------
     def golden_trace(self):
-        """Retire records of the fault-free run (computed once)."""
+        """Retire records of the fault-free run (computed once).
+
+        With checkpointing enabled the golden run executes with checkers
+        *on* and snapshots the complete core state every
+        ``checkpoint_interval`` instructions as it goes.  A fault-free
+        checkers-on run retires the identical trace (checkers only
+        observe), and one snapshot set then serves both experiment
+        phases; should a checker ever fire on it (an embedding bug -
+        ``false_positive_check`` exists to catch those), checkpointing is
+        disabled and the classic checkers-off golden run is used.
+        """
         if self._golden is None:
-            core = CheckedCore(self.embedded, detect=False)
-            trace = []
-            while not core.halted:
-                trace.append(core.step())
-            self._golden = trace
-            self._golden_final = core.architectural_state()
+            if self.use_checkpoints:
+                core = CheckedCore(self.embedded, detect=True)
+                store = CheckpointStore(interval=self.checkpoint_interval,
+                                        max_checkpoints=self.max_checkpoints)
+                trace = []
+                try:
+                    record_checkpoints(core, store=store, trace=trace)
+                except ArgusError:
+                    self.use_checkpoints = False  # defensive fallback
+                else:
+                    self._golden = trace
+                    self._golden_final = core.architectural_state()
+                    self._checkpoints = store
+            if self._golden is None:
+                core = CheckedCore(self.embedded, detect=False)
+                trace = []
+                while not core.halted:
+                    trace.append(core.step())
+                self._golden = trace
+                self._golden_final = core.architectural_state()
         return self._golden
+
+    def checkpoints(self):
+        """The golden run's CheckpointStore (None when disabled)."""
+        self.golden_trace()
+        return self._checkpoints
 
     @property
     def golden_length(self):
@@ -169,14 +216,45 @@ class Campaign:
         core = CheckedCore(self.embedded, injector=injector, detect=detect)
         return core, injector
 
+    def _warm_start(self, core, inject_at):
+        """Restore the nearest golden checkpoint <= inject_at; returns the
+        dynamic instruction index to resume at (0 = cold start)."""
+        if self._checkpoints is None:
+            return 0
+        snapshot = self._checkpoints.nearest(inject_at)
+        if snapshot is None:
+            return 0
+        core.restore(snapshot)
+        return snapshot.step
+
     def _masking_run(self, spec, duration, inject_at):
-        """Checkers-off run; returns (masked, activated_at, hung)."""
+        """Checkers-off run; returns (masked, activated_at, hung).
+
+        Warm-starts from the nearest golden checkpoint at or before the
+        injection point: every instruction before it is bit-identical to
+        the golden run, so trace comparison simply begins at the restored
+        step.  For transient *state* faults the run also early-exits as
+        masked once the (already applied, hence inert) fault's core
+        re-matches the golden state at a checkpoint boundary: from
+        identical replay-relevant state the deterministic tail retires
+        the golden records, so replaying it to halt proves nothing new.
+        """
         golden = self.golden_trace()
         limit = int(len(golden) * self.run_slack) + 64
         core, injector = self._new_core(spec, detect=False)
         schedule = FaultSchedule(spec, duration, inject_at)
-        step = 0
+        step = self._warm_start(core, inject_at)
+        store = self._checkpoints
+        # Signal transients stay armed until their first architectural
+        # impact (which ends this run), so only state transients - whose
+        # one-shot flip is behind us once applied - can reconverge.
+        reconverge = (store is not None and duration == TRANSIENT
+                      and spec.is_state)
         while not core.halted and step < limit:
+            if reconverge and step > inject_at and step % store.interval == 0:
+                view = store.masking_view_at(step)
+                if view is not None and view == masking_view_of(core):
+                    return True, None, False  # reconverged: tail == golden
             schedule.before_step(step, injector, core)
             record = core.step()
             if record is None:
@@ -200,13 +278,21 @@ class Campaign:
         return True, None, False
 
     def _detection_run(self, spec, duration, inject_at):
-        """Checkers-on run; returns (detected, event, hung)."""
+        """Checkers-on run; returns (detected, event, hung).
+
+        Warm-starts from the nearest golden checkpoint at or before the
+        injection point.  The checkpoints come from a checkers-on golden
+        run, so the restored checker state (SHS file, anticipated DCS,
+        payload collector, watchdog) is exactly what a cold checkers-on
+        replay would have built - detections and their latencies are
+        bit-identical.
+        """
         golden = self.golden_trace()
         limit = int(len(golden) * self.run_slack) + 64
         core, injector = self._new_core(spec, detect=True)
         schedule = FaultSchedule(spec, duration, inject_at)
         diverged = False
-        step = 0
+        step = self._warm_start(core, inject_at)
         # Latency is measured from the error's first architectural impact
         # (its activation), as in Sec. 4.2; until the fault activates, the
         # injection point itself is the reference.

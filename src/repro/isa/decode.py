@@ -195,3 +195,50 @@ def decode(word):
             return _make(op, word, rd=rd, ra=ra)
         return _make(op, word, rd=rd, ra=ra, rb=rb)
     raise DecodeError("unknown primary opcode 0x%02x in word 0x%08x" % (primary, word))
+
+
+# -- shared decode memo -----------------------------------------------------
+#
+# Decoding is pure, so one process-wide memo over the 32-bit word replaces
+# the per-instance caches the cores used to keep: every fresh core built
+# for a fault-injection experiment reuses the decodes of every previous
+# one instead of re-decoding the same static words.  DecodeErrors are
+# memoized too (the fault campaign repeatedly feeds the same corrupted
+# words).  The memo is cleared, not evicted, if it ever grows absurd -
+# distinct words are bounded by the static program text plus the fault
+# masks applied to it, so in practice it stays small.
+
+_DECODE_CACHE = {}
+_DECODE_CACHE_LIMIT = 1 << 20
+
+
+def _decode_memo(word):
+    """Instr for ``word``, or the cached DecodeError instance."""
+    hit = _DECODE_CACHE.get(word)
+    if hit is None:
+        if len(_DECODE_CACHE) >= _DECODE_CACHE_LIMIT:
+            _DECODE_CACHE.clear()
+        try:
+            hit = decode(word)
+        except DecodeError as exc:
+            hit = exc
+        _DECODE_CACHE[word] = hit
+    return hit
+
+
+def decode_cached(word):
+    """Memoized :func:`decode`: same contract, shared across all cores."""
+    hit = _decode_memo(word)
+    if type(hit) is not Instr:
+        raise hit
+    return hit
+
+
+def decode_or_none(word):
+    """Memoized decode that maps undecodable words to None.
+
+    The checked core executes undecodable (fault-corrupted) words as NOPs
+    and lets the DCS see the omission; this is its cache-friendly entry.
+    """
+    hit = _decode_memo(word)
+    return hit if type(hit) is Instr else None

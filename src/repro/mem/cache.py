@@ -117,3 +117,23 @@ class Cache:
     def occupancy(self):
         """Number of valid lines (testing/inspection)."""
         return sum(len(ways) for ways in self._sets)
+
+    # -- checkpointing ---------------------------------------------------
+    def snapshot(self):
+        """Immutable capture of tag/LRU/dirty state plus access stats.
+
+        Only non-empty sets are stored (index, ways) so sparse caches -
+        the common case for short runs - stay compact.
+        """
+        sets = tuple((index, tuple((entry[0], entry[1]) for entry in ways))
+                     for index, ways in enumerate(self._sets) if ways)
+        stats = (self.stats.hits, self.stats.misses, self.stats.writebacks)
+        return (sets, stats)
+
+    def restore(self, snapshot):
+        sets, stats = snapshot
+        for ways in self._sets:
+            ways.clear()
+        for index, ways in sets:
+            self._sets[index] = [[tag, dirty] for tag, dirty in ways]
+        self.stats.hits, self.stats.misses, self.stats.writebacks = stats

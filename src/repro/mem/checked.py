@@ -128,6 +128,17 @@ class CheckedMemory:
         """Mapping of word address -> functional value for all written words."""
         return {addr: (stored ^ addr) & 0xFFFFFFFF for addr, stored in self._stored.items()}
 
+    # -- checkpointing -----------------------------------------------------
+    def snapshot(self):
+        """Shallow (stored, parity) dict copies - the protected words with
+        their parity bits, exactly as resident (no re-encoding)."""
+        return (dict(self._stored), dict(self._parity))
+
+    def restore(self, snapshot):
+        stored, parity = snapshot
+        self._stored = dict(stored)
+        self._parity = dict(parity)
+
     # -- fault hooks -------------------------------------------------------
     def corrupt_stored_bit(self, address, bit):
         """Flip one bit of the protected storage word (data-array fault)."""

@@ -81,3 +81,19 @@ class MemorySystem:
     def reset_stats(self):
         self.icache.stats.reset()
         self.dcache.stats.reset()
+
+    # -- checkpointing ---------------------------------------------------
+    def snapshot(self):
+        """Capture both caches' tag/LRU/dirty/stat state.
+
+        :class:`~repro.mem.main.MainMemory` is loaded once from the
+        program and never written through this interface by the checked
+        core (data lives in its protected memory), so it is not part of
+        the snapshot.
+        """
+        return (self.icache.snapshot(), self.dcache.snapshot())
+
+    def restore(self, snapshot):
+        icache, dcache = snapshot
+        self.icache.restore(icache)
+        self.dcache.restore(dcache)

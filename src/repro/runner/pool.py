@@ -37,12 +37,30 @@ _TIMEOUT_GRACE = 30.0
 _WORKER_CAMPAIGN = None
 
 
-def _init_worker(embedded, run_slack):
-    """Build this worker's private campaign (golden trace precomputed)."""
+def _campaign_config(campaign):
+    """The constructor arguments a worker needs to mirror ``campaign``.
+
+    Includes the checkpoint knobs, so each worker builds its golden
+    checkpoint set exactly once in the pool initializer and every
+    experiment it runs warm-starts from it.
+    """
+    return (campaign.embedded, campaign.run_slack, campaign.use_checkpoints,
+            campaign.checkpoint_interval, campaign.max_checkpoints)
+
+
+def _init_worker(config):
+    """Build this worker's private campaign (golden trace + checkpoint
+    set precomputed)."""
     global _WORKER_CAMPAIGN
     from repro.faults.campaign import Campaign
 
-    _WORKER_CAMPAIGN = Campaign(embedded=embedded, run_slack=run_slack)
+    (embedded, run_slack, use_checkpoints,
+     checkpoint_interval, max_checkpoints) = config
+    _WORKER_CAMPAIGN = Campaign(
+        embedded=embedded, run_slack=run_slack,
+        use_checkpoints=use_checkpoints,
+        checkpoint_interval=checkpoint_interval,
+        max_checkpoints=max_checkpoints)
     _WORKER_CAMPAIGN.golden_trace()
 
 
@@ -68,8 +86,7 @@ def _make_batches(pending, workers, batch_size):
             for i in range(0, len(pending), batch_size)]
 
 
-def _pool_pass(embedded, run_slack, pending, workers, commit, timeout,
-               batch_size):
+def _pool_pass(config, pending, workers, commit, timeout, batch_size):
     """One attempt at draining ``pending`` through a fresh process pool.
 
     Commits whatever completes; experiments still uncommitted afterwards
@@ -82,7 +99,7 @@ def _pool_pass(embedded, run_slack, pending, workers, commit, timeout,
     try:
         executor = ProcessPoolExecutor(
             max_workers=workers, initializer=_init_worker,
-            initargs=(embedded, run_slack))
+            initargs=(config,))
     except (OSError, ValueError, PermissionError):
         return  # environment cannot spawn processes; caller falls back
     not_done = set()
@@ -122,9 +139,8 @@ def _run_parallel(campaign, pending, workers, commit, timeout, retries,
     for _attempt in range(max(0, retries) + 1):
         if not remaining:
             return
-        _pool_pass(campaign.embedded, campaign.run_slack,
-                   list(remaining.values()), workers, commit_and_pop,
-                   timeout, batch_size)
+        _pool_pass(_campaign_config(campaign), list(remaining.values()),
+                   workers, commit_and_pop, timeout, batch_size)
     for exp in list(remaining.values()):
         commit_and_pop(exp.experiment_id,
                        result_to_record(campaign.run_planned(exp)))

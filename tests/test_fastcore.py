@@ -183,8 +183,12 @@ class TestTiming:
     def test_histogram(self):
         core = FastCore(assemble(parse("nop\nnop\nhalt")), collect_histogram=True)
         result = core.run()
-        assert result.op_histogram[Op.NOP] == 2
-        assert result.op_histogram[Op.HALT] == 1
+        assert result.op_histogram["NOP"] == 2
+        assert result.op_histogram["HALT"] == 1
+        # JSON-safe by construction: string keys, int values.
+        import json
+
+        assert json.loads(json.dumps(result.op_histogram)) == result.op_histogram
 
 
 class TestLimits:

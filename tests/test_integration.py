@@ -45,7 +45,7 @@ class TestStressProgram:
         base = assemble(parse(stress_test_source()))
         core = FastCore(base, collect_histogram=True)
         result = core.run()
-        mnemonics = {op.name.lower() for op in result.op_histogram}
+        mnemonics = {name.lower() for name in result.op_histogram}
         for required in ("mul", "mulu", "div", "divu", "lwz", "lhz", "lhs",
                          "lbz", "lbs", "sw", "sh", "sb", "jal", "jr", "bf",
                          "bnf", "exths", "extbs", "sll", "sra", "j"):
