@@ -1,0 +1,138 @@
+"""Static coverage audit: runtime + static-vs-empirical agreement.
+
+Two numbers the PR's acceptance bar cares about, recorded as JSON:
+
+* how long the purely analytic audit takes (building the full
+  :class:`~repro.analysis.coverage.StaticCoverageMap` plus the
+  ARG014-ARG017 lint pass) versus one empirical campaign of the same
+  scope - the audit classifies every point, the campaign samples;
+* the differential gate's verdict on a seed-pinned campaign: every
+  sampled experiment's empirical outcome must be compatible with its
+  static classification (zero disagreements), and the per-outcome
+  empirical statistics are recorded so drifts show up in review.
+
+There is deliberately no wall-clock gate (CI machines are noisy); CI
+enforces zero disagreements and full classification, and uploads the
+record.  The committed ``BENCH_static_coverage.json`` (regenerate with
+``python benchmarks/bench_static_coverage.py``) documents a quiet-
+machine run.
+
+Size via ``ARGUS_STATIC_COVERAGE_EXPERIMENTS`` (default 500), output
+path via ``ARGUS_STATIC_COVERAGE_RECORD``.
+"""
+
+import json
+import os
+import time
+
+from repro.analysis.coverage import (
+    audit_coverage_map,
+    build_static_coverage_map,
+    differential_audit,
+)
+from repro.faults.campaign import Campaign
+from repro.faults.model import PERMANENT, TRANSIENT
+
+EXPERIMENTS = int(os.environ.get("ARGUS_STATIC_COVERAGE_EXPERIMENTS", "500"))
+SEED = 2007
+RECORD_PATH = os.environ.get(
+    "ARGUS_STATIC_COVERAGE_RECORD",
+    os.path.join(os.path.dirname(__file__), "BENCH_static_coverage.json"))
+
+
+def run_audit_and_campaign(experiments=EXPERIMENTS, seed=SEED):
+    """Build the static map, audit it, run the campaign, cross-check."""
+    campaign = Campaign(seed=seed)
+
+    start = time.perf_counter()
+    coverage_map = build_static_coverage_map(campaign.embedded,
+                                             points=campaign.points)
+    report = audit_coverage_map(coverage_map)
+    audit_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    per_duration = {}
+    defects = []
+    agreement = {}
+    for duration in (TRANSIENT, PERMANENT):
+        summary = campaign.run(experiments=experiments // 2,
+                               duration=duration)
+        per_duration[duration] = summary
+        defects.extend(differential_audit(summary.results, coverage_map))
+        tally = {}
+        for result in summary.results:
+            entry = coverage_map.lookup(result.spec)
+            key = "%s/%s" % (entry.outcome, result.quadrant)
+            tally[key] = tally.get(key, 0) + 1
+        agreement[duration] = dict(sorted(tally.items()))
+    campaign_seconds = time.perf_counter() - start
+
+    return {
+        "campaign": campaign,
+        "coverage_map": coverage_map,
+        "report": report,
+        "per_duration": per_duration,
+        "defects": defects,
+        "agreement": agreement,
+        "audit_seconds": audit_seconds,
+        "campaign_seconds": campaign_seconds,
+    }
+
+
+def check_acceptance(results):
+    """The PR's acceptance bar, enforced wherever the bench runs."""
+    assert results["report"].ok, results["report"].render_text()
+    assert not results["coverage_map"].unknown()
+    assert results["defects"] == [], "\n".join(
+        d.format() for d in results["defects"])
+
+
+def build_record(results):
+    coverage_map = results["coverage_map"]
+    total = sum(len(s.results) for s in results["per_duration"].values())
+    return {
+        "experiments": total,
+        "seed": SEED,
+        "points_classified": len(coverage_map),
+        "outcome_counts": coverage_map.outcome_counts(),
+        "outcome_weights": {k: round(v, 5) for k, v in
+                            coverage_map.outcome_weights().items()},
+        "audit_errors": len(results["report"].errors),
+        "disagreements": len(results["defects"]),
+        "agreement": results["agreement"],
+        "audit_seconds": round(results["audit_seconds"], 3),
+        "campaign_seconds": round(results["campaign_seconds"], 3),
+        "audit_points_per_second": round(
+            len(coverage_map) / results["audit_seconds"], 1),
+    }
+
+
+def test_static_coverage_agreement(benchmark):
+    results = {}
+
+    def measure():
+        results.update(run_audit_and_campaign())
+        return results
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    check_acceptance(results)
+
+    record = build_record(results)
+    benchmark.extra_info.update(
+        {k: v for k, v in record.items()
+         if k not in ("outcome_counts", "outcome_weights", "agreement")})
+    print("\n  " + json.dumps(record, sort_keys=True))
+
+
+def main():
+    results = run_audit_and_campaign()
+    check_acceptance(results)
+    record = build_record(results)
+    with open(RECORD_PATH, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(record, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

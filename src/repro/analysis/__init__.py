@@ -28,6 +28,12 @@ Every defect is a :class:`~repro.analysis.diagnostics.Diagnostic` in an
 exception - so one run reports everything at once.  The ``argus-repro
 lint`` CLI subcommand and the ``embed_program(..., verify=True)``
 post-embed gate are thin wrappers over :func:`analyze_program`.
+
+A second, orthogonal pass lives in :mod:`repro.analysis.coverage`: the
+static checker-coverage audit (ARG014-ARG017), which classifies every
+fault-injection point analytically - detected / aliased(p) / blind /
+masked-by-construction - and cross-checks the result against empirical
+campaigns (``argus-repro audit``).
 """
 
 from repro.analysis.cfg import (
@@ -43,6 +49,15 @@ from repro.analysis.diagnostics import (
     WARNING,
     AnalysisReport,
     Diagnostic,
+)
+from repro.analysis.coverage import (
+    ExerciseProfile,
+    PointCoverage,
+    StaticCoverageMap,
+    audit_coverage_map,
+    build_static_coverage_map,
+    classify_point,
+    differential_audit,
 )
 from repro.analysis.lints import run_structural_lints
 from repro.analysis.signatures import check_entry_dcs, verify_signatures
@@ -96,4 +111,11 @@ __all__ = [
     "check_dataflow",
     "analyze_program",
     "analyze_embedded",
+    "ExerciseProfile",
+    "PointCoverage",
+    "StaticCoverageMap",
+    "classify_point",
+    "build_static_coverage_map",
+    "audit_coverage_map",
+    "differential_audit",
 ]

@@ -1,0 +1,746 @@
+"""Static checker-coverage audit: detection outcomes without injection.
+
+The fault-injection campaign (:mod:`repro.faults.campaign`) demonstrates
+the paper's "comprehensive error detection" claim *empirically*, one
+sampled injection at a time.  This module builds the *analytic* side of
+the argument: for every (component, signal-bit) injection point the
+population enumerates, it derives the detection outcome by propagating a
+symbolic single-bit (or double-bit even-weight) error through the algebra
+of each checker:
+
+* **CRC5/SHS compression** - linear over GF(2), so an instruction-stream
+  error perturbs the history by its own syndrome; the 32 residue classes
+  (:func:`repro.argus.crc.residue_classes`) give the exact 1/32 aliasing
+  set for the DCS compares;
+* **DCS permute + XOR tree** - also linear; every single flat-SHS bit
+  maps to a non-zero DCS delta (:func:`repro.argus.dcs.single_bit_sensitivity`),
+  and a wrong-destination writeback perturbs the fold with collision
+  probability :data:`repro.argus.dcs.DCS_ALIASING_BOUND`;
+* **parity** - detects exactly the odd-weight flips; even-weight
+  (double-bit) flips are its provable blind spot;
+* **adder / RSSE sub-checkers** - exact replay plus full-width compare,
+  aliasing probability 0;
+* **modulo-31 residue check** - ``2**k mod 31`` is never zero, so every
+  single-bit product/remainder flip is caught; a quotient flip escapes
+  exactly when the divisor is a multiple of 31 (probability 1/31);
+* **D xor A + parity memory** - any odd-weight address error flips the
+  recovered word's parity, even for never-written words.
+
+The ideal-checker conditions of the formal model
+(:data:`repro.formal.machine.IDEAL_CONDITIONS`) act as the specification:
+:data:`REFINEMENT_MAP` records which concrete checker refines each
+condition, and the audit (ARG017) fails if a condition's refinement never
+owns an injection point.
+
+The result is a :class:`StaticCoverageMap` assigning every point one of
+four outcomes - ``detected`` / ``aliased(p)`` / ``blind`` /
+``masked-by-construction`` - rendered by ``argus-repro audit`` and
+cross-checked against empirical campaigns by :func:`differential_audit`
+(the same two-independent-derivations discipline ARG009 applies to block
+partitioning).
+
+Outcome semantics (what the differential gate enforces):
+
+* ``detected`` - every activation that can corrupt architectural state is
+  deterministically caught by a checker in ``detected_by``; an
+  empirically *silent* result on such a point is a defect.
+* ``aliased`` - detection is owned by ``detected_by`` but an escape set
+  exists: algebraic (``alias_probability`` = the collision odds) or
+  conditional (data/liveness-dependent, e.g. a corrupted register that is
+  never read again).  Both silent and detected results are compatible.
+* ``blind`` - no checker algebra observes the corruption itself; only
+  incidental consequences (wild control flow tripping the DCS or the
+  watchdog) may fire.  A detection by any *other* checker is a defect.
+* ``masked-by-construction`` - the point cannot reach architectural
+  state at all (checker-side hardware, architecturally dead bits,
+  signals the program never evaluates); ``detected_by`` then lists the
+  false-alarm channels (the paper's DME quadrant).  An empirically
+  *unmasked* result is a defect.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.argus import crc as crc_mod
+from repro.argus import dcs as dcs_mod
+from repro.argus.checkers import ModuloChecker
+from repro.argus.errors import (
+    CHECKER_COMPUTATION,
+    CHECKER_CONTROL_FLOW,
+    CHECKER_MEMORY,
+    CHECKER_PARITY,
+    CHECKER_WATCHDOG,
+)
+from repro.analysis.diagnostics import AnalysisReport
+from repro.faults.model import FaultSpec
+from repro.faults.points import InjectionPoint, build_point_population
+from repro.formal.machine import IDEAL_CONDITIONS
+from repro.isa import opcodes
+from repro.isa.decode import decode_or_none
+
+# -- outcome taxonomy -------------------------------------------------------
+
+DETECTED = "detected"
+ALIASED = "aliased"
+BLIND = "blind"
+MASKED = "masked-by-construction"
+UNKNOWN = "unknown"
+
+OUTCOMES = (DETECTED, ALIASED, BLIND, MASKED)
+
+#: alias_kind values: an algebraic escape set has an exact collision
+#: probability; a conditional one depends on data/liveness (dead values,
+#: never-re-read stores) and carries no closed-form probability.
+ALGEBRAIC = "algebraic"
+CONDITIONAL = "conditional"
+
+#: How each ideal-checker condition of Appendix A is refined by the
+#: concrete Argus-1 checkers (empirical checker names from
+#: :mod:`repro.argus.errors`).
+REFINEMENT_MAP = {
+    "CFC": (CHECKER_CONTROL_FLOW, CHECKER_WATCHDOG),
+    "DFC_S": (CHECKER_CONTROL_FLOW,),  # permuted DCS sees wrong assignment
+    "DFC_V": (CHECKER_PARITY,),
+    "MFC_S": (CHECKER_COMPUTATION, CHECKER_MEMORY),  # address replay + DxA
+    "MFC_V": (CHECKER_MEMORY,),
+    "CC": (CHECKER_COMPUTATION,),
+}
+
+_MODULO = ModuloChecker()
+
+#: Analytic worst-case aliasing bound per checker (ARG015): the DCS
+#: compare can collide with probability 1/32; the weakest computation
+#: sub-checker is the modulo-31 residue (1/31); parity, memory and the
+#: watchdog either detect deterministically or are blind - they never
+#: alias probabilistically.
+ALIASING_BOUNDS = {
+    CHECKER_CONTROL_FLOW: dcs_mod.DCS_ALIASING_BOUND,
+    CHECKER_COMPUTATION: _MODULO.aliasing_probability(),
+    CHECKER_PARITY: 0.0,
+    CHECKER_MEMORY: 0.0,
+    CHECKER_WATCHDOG: 0.0,
+}
+
+#: Corrupted architectural values can steer control flow off the traced
+#: path; the DCS compare and the watchdog may then fire *incidentally*,
+#: without owning the fault class.
+_WILD = (CHECKER_CONTROL_FLOW, CHECKER_WATCHDOG)
+
+#: Condition string marking exercise-profile masking (as opposed to
+#: structural masking), so the audit can tell the two apart.
+NEVER_EVALUATED = "signal never evaluated"
+
+_MUL_OPS = frozenset({opcodes.Op.MUL, opcodes.Op.MULU})
+_DIV_OPS = frozenset({opcodes.Op.DIV, opcodes.Op.DIVU})
+
+#: Signal taps that are only evaluated when the program issues a given
+#: instruction class.  Only classes the decoder identifies exactly are
+#: listed (sound in both directions: a signal gated here cannot fire in a
+#: program without the class, because a single-fault run never *creates*
+#: instructions of a class absent from the text).  State targets are
+#: never gated - state faults apply regardless of the instruction stream.
+EXERCISE_REQUIREMENTS = {
+    "ex.mul.product": _MUL_OPS,
+    "ex.div.quotient": _DIV_OPS,
+    "ex.div.remainder": _DIV_OPS,
+    "lsu.addr": opcodes.MEM_OPS,
+    "lsu.mem_addr": opcodes.LOAD_OPS,
+    "lsu.load_data": opcodes.LOAD_OPS,
+    "lsu.mem_waddr": opcodes.STORE_OPS,
+    "lsu.store_data": opcodes.STORE_OPS,
+    "ex.flag": opcodes.COMPARE_OPS,
+    "ctl.flag": opcodes.CONDITIONAL_BRANCH_OPS,
+    "ctl.btarget": opcodes.BRANCH_OPS,
+}
+
+
+@dataclass(frozen=True)
+class ExerciseProfile:
+    """Which operations a program's text segment can ever issue.
+
+    Derived from every decodable word of the text - deliberately *not*
+    restricted to CFG-reachable blocks: over-approximating keeps the
+    profile sound for the differential gate (a signal we call exercised
+    may still never fire empirically, which every outcome tolerates,
+    whereas claiming masked for a signal that does fire would flag a
+    false defect).
+    """
+
+    ops: frozenset
+
+    @classmethod
+    def full(cls):
+        """Assume every instruction class occurs (population-level audit)."""
+        return cls(ops=frozenset(opcodes.Op))
+
+    @classmethod
+    def of_program(cls, program):
+        ops = set()
+        for word in program.words:
+            instr = decode_or_none(word)
+            if instr is not None:
+                ops.add(instr.op)
+        return cls(ops=frozenset(ops))
+
+    def exercises(self, target):
+        """False only when the target's driving instruction class is
+        provably absent from the program text."""
+        required = EXERCISE_REQUIREMENTS.get(target)
+        return required is None or bool(self.ops & required)
+
+
+@dataclass(frozen=True)
+class PointCoverage:
+    """Static classification of one injection point.
+
+    ``detected_by`` lists the checkers whose algebra owns the fault
+    class; for ``masked-by-construction`` points these are the possible
+    false-alarm channels (DME).  ``incidental`` adds checkers that may
+    fire through secondary effects (wild control flow) without owning
+    the class.
+    """
+
+    target: str
+    mask: int
+    index: Optional[int]
+    is_state: bool
+    double_bit: bool
+    component: str
+    weight: float
+    outcome: str
+    detected_by: tuple = ()
+    alias_probability: Optional[float] = None
+    alias_kind: Optional[str] = None
+    condition: str = ""
+    incidental: tuple = ()
+    rationale: str = ""
+
+    @property
+    def key(self):
+        return (self.target, self.mask, self.index)
+
+    @property
+    def possible_checkers(self):
+        """Every checker that may legitimately fire on this point."""
+        return frozenset(self.detected_by) | frozenset(self.incidental)
+
+    def to_dict(self):
+        out = {
+            "target": self.target,
+            "mask": self.mask,
+            "index": self.index,
+            "is_state": self.is_state,
+            "double_bit": self.double_bit,
+            "component": self.component,
+            "weight": self.weight,
+            "outcome": self.outcome,
+            "detected_by": sorted(self.detected_by),
+            "incidental": sorted(self.incidental),
+            "rationale": self.rationale,
+        }
+        if self.outcome == ALIASED:
+            out["alias_probability"] = self.alias_probability
+            out["alias_kind"] = self.alias_kind
+            out["condition"] = self.condition
+        return out
+
+
+def classify_point(point, profile=None):
+    """Statically classify one :class:`~repro.faults.points.InjectionPoint`.
+
+    Every rule below is a word-level restatement of what the checked core
+    (:mod:`repro.cpu.checkedcore`) actually wires, justified by the
+    checker algebra hooks in :mod:`repro.argus`.
+    """
+    profile = profile if profile is not None else ExerciseProfile.full()
+    spec = point.spec
+    target, mask = spec.target, spec.mask
+    base = dict(target=target, mask=mask, index=spec.index,
+                is_state=spec.is_state, double_bit=point.double_bit,
+                component=point.component, weight=point.weight)
+
+    def mk(outcome, **kw):
+        return PointCoverage(outcome=outcome, **base, **kw)
+
+    # Gate-internal nodes: logic-masked before any word-level signal.
+    if target.startswith("inert."):
+        return mk(MASKED, rationale="gate-internal node whose fault is "
+                  "logically masked inside the network; never reaches a "
+                  "word-level signal")
+
+    # Signal taps the program provably never evaluates.
+    if not spec.is_state and not profile.exercises(target):
+        return mk(MASKED, condition=NEVER_EVALUATED,
+                  rationale="the program text contains no instruction "
+                  "class that drives this signal, so the tap is never "
+                  "evaluated (not even a false alarm is possible)")
+
+    # -- register file and operand buses (DFC_V: parity) -----------------
+    if target == "state.rf.value":
+        if point.double_bit:
+            return mk(BLIND, incidental=_WILD,
+                      rationale="even-weight storage flip preserves the "
+                      "word's parity bit and no checker observes register "
+                      "values directly - the paper's conceded double-bit "
+                      "datapath class")
+        return mk(ALIASED, detected_by=(CHECKER_PARITY,),
+                  alias_kind=CONDITIONAL,
+                  condition="the corrupted register must be read before "
+                  "being overwritten or the program halting; a dead value "
+                  "reaches the final-state comparison unchecked",
+                  incidental=_WILD,
+                  rationale="the stored parity bit goes stale on the odd-"
+                  "weight flip and every operand read re-checks it")
+
+    if target in ("ex.op_a", "ex.op_b"):
+        if point.double_bit:
+            return mk(BLIND, incidental=_WILD,
+                      rationale="even-weight operand-bus flip preserves "
+                      "parity, and the FU and sub-checkers consume the "
+                      "same corrupted operand consistently")
+        return mk(DETECTED, detected_by=(CHECKER_PARITY,),
+                  rationale="operand parity is re-checked at every read "
+                  "port use; any odd-weight bus flip trips it immediately")
+
+    if target in ("ex.op_a.par", "ex.op_b.par", "state.rf.parity"):
+        return mk(MASKED, detected_by=(CHECKER_PARITY,),
+                  rationale="parity metadata only feeds the comparator; a "
+                  "flip can raise a false alarm (DME) but never reaches "
+                  "architectural state")
+
+    # -- shared writeback port (DFC_S: permuted DCS) ----------------------
+    if target == "wb.rd":
+        return mk(ALIASED, detected_by=(CHECKER_CONTROL_FLOW,),
+                  alias_probability=dcs_mod.DCS_ALIASING_BOUND,
+                  alias_kind=ALGEBRAIC,
+                  condition="the wrong-destination SHS assignment must "
+                  "permute-fold to the same 5-bit DCS (1/32 collision)",
+                  incidental=_WILD,
+                  rationale="value and SHS share the port, so the history "
+                  "lands at the wrong location too; the hard-wired "
+                  "permutation makes the DCS sensitive to assignment")
+
+    # -- computation results (CC: exact replay / residue) -----------------
+    if target == "ex.alu.result":
+        return mk(DETECTED, detected_by=(CHECKER_COMPUTATION,),
+                  rationale="adder/RSSE sub-checkers recompute the result "
+                  "and compare all 32 bits exactly (any error pattern, "
+                  "including double bits, is caught)")
+
+    if target == "ex.mul.product":
+        if mask >> 32:
+            return mk(MASKED, detected_by=(CHECKER_COMPUTATION,),
+                      rationale="the upper product half is architecturally "
+                      "dead (only the low word retires), but the modulo-31 "
+                      "residue covers all 64 bits, so DME alarms occur")
+        return mk(DETECTED, detected_by=(CHECKER_COMPUTATION,),
+                  rationale="2**k mod 31 is never zero, so every single-"
+                  "bit product flip shifts the checked residue")
+
+    if target == "ex.div.quotient":
+        return mk(ALIASED, detected_by=(CHECKER_COMPUTATION,),
+                  alias_probability=_MODULO.aliasing_probability(),
+                  alias_kind=ALGEBRAIC,
+                  condition="escapes exactly when the divisor is a "
+                  "multiple of 31: B = 0 mod M makes B*Q = A - R "
+                  "insensitive to the quotient",
+                  incidental=_WILD,
+                  rationale="the quotient enters the residue identity "
+                  "multiplied by the divisor's residue")
+
+    if target == "ex.div.remainder":
+        return mk(DETECTED, detected_by=(CHECKER_COMPUTATION,),
+                  rationale="the remainder enters the residue identity "
+                  "with coefficient 1, so its single-bit flips always "
+                  "shift the checked residue (2**k mod 31 != 0)")
+
+    # -- load/store unit (MFC_S / MFC_V) ----------------------------------
+    if target == "lsu.addr":
+        return mk(DETECTED, detected_by=(CHECKER_COMPUTATION,),
+                  rationale="the adder sub-checker replays base+offset "
+                  "and compares the full 32-bit effective address before "
+                  "it is masked down")
+
+    if target == "lsu.mem_addr":
+        return mk(DETECTED, detected_by=(CHECKER_MEMORY,),
+                  rationale="a single-bit physical-address error "
+                  "unscrambles D xor A with the wrong address; the odd-"
+                  "weight difference flips the recovered word's parity, "
+                  "even for never-written words")
+
+    if target == "lsu.mem_waddr":
+        return mk(ALIASED, detected_by=(CHECKER_MEMORY,),
+                  alias_kind=CONDITIONAL,
+                  condition="the clobbered word must be loaded again; the "
+                  "intended word goes silently stale (the 'silently not "
+                  "performed store' class Sec. 3.4 concedes)",
+                  incidental=_WILD,
+                  rationale="the data is scrambled with the intended "
+                  "address but lands at the faulty one, so a later load "
+                  "of the clobbered word trips parity")
+
+    if target == "lsu.store_data":
+        if point.double_bit:
+            return mk(BLIND, incidental=_WILD,
+                      rationale="parity is generated before the store-"
+                      "data tap, and an even-weight flip matches the "
+                      "travelling parity bit on every later load")
+        return mk(ALIASED, detected_by=(CHECKER_MEMORY,),
+                  alias_kind=CONDITIONAL,
+                  condition="the stored word must be loaded again before "
+                  "being overwritten",
+                  incidental=_WILD,
+                  rationale="parity travels from before the tap, so the "
+                  "stored word carries a stale parity bit that the next "
+                  "load of it checks")
+
+    if target == "lsu.load_data":
+        return mk(DETECTED, detected_by=(CHECKER_COMPUTATION,),
+                  rationale="the RSSE replays the alignment/extension "
+                  "from the raw memory word and compares the full result "
+                  "exactly (any error pattern is caught)")
+
+    # -- fetch, PC and branch (CFC: DCS + watchdog) ------------------------
+    if target in ("if.pc", "state.pc", "if.inst", "ctl.btarget"):
+        detail = {
+            "if.pc": "a wrong fetch address executes a different "
+                     "instruction stream",
+            "state.pc": "a corrupted PC latch fetches a different "
+                        "instruction stream",
+            "if.inst": "a corrupted fetched word propagates to all three "
+                       "decode copies consistently",
+            "ctl.btarget": "a wrong branch target executes a different "
+                           "successor block",
+        }[target]
+        return mk(ALIASED, detected_by=(CHECKER_CONTROL_FLOW,),
+                  alias_probability=dcs_mod.DCS_ALIASING_BOUND,
+                  alias_kind=ALGEBRAIC,
+                  condition="the wrong stream's computed DCS must collide "
+                  "with the packed expectation (1/32); straying into "
+                  "signature-free padding adds a liveness escape",
+                  incidental=_WILD,
+                  rationale=detail + "; its CRC5 history diverges from "
+                  "the embedded DCS except on hash collisions")
+
+    # -- decode copies (Fig. 3 distribution) -------------------------------
+    if target == "id.word.fu":
+        return mk(DETECTED, detected_by=(CHECKER_COMPUTATION,),
+                  rationale="any non-spare flip changes the canonical "
+                  "word and trips the instruction-copy cross-check; "
+                  "spare-bit flips are architecturally inert on the FU "
+                  "side (decode ignores them)")
+
+    if target == "id.word.chk":
+        return mk(ALIASED,
+                  detected_by=(CHECKER_COMPUTATION, CHECKER_CONTROL_FLOW),
+                  alias_kind=CONDITIONAL,
+                  condition="non-spare flips trip the cross-check "
+                  "immediately; spare-bit flips corrupt packed DCS "
+                  "payloads and surface at the consuming block boundary "
+                  "- the link field only if its return executes",
+                  rationale="the checker-side copy feeds both the cross-"
+                  "check (canonical bits) and the signature collector "
+                  "(spare bits)")
+
+    if target == "id.word.shs":
+        return mk(MASKED, detected_by=(CHECKER_CONTROL_FLOW,),
+                  rationale="the SHS-side copy only drives checker "
+                  "state; a flip desynchronises the computed DCS (false "
+                  "alarm / DME) but never touches architecture")
+
+    # -- flag and liveness -------------------------------------------------
+    if target == "ex.flag":
+        return mk(DETECTED, detected_by=(CHECKER_COMPUTATION,),
+                  rationale="the compare sub-checker replays the "
+                  "condition on the checked operands against the tapped "
+                  "flag immediately")
+
+    if target == "ctl.flag":
+        return mk(ALIASED, detected_by=(CHECKER_CONTROL_FLOW,),
+                  alias_probability=dcs_mod.DCS_ALIASING_BOUND,
+                  alias_kind=ALGEBRAIC,
+                  condition="the wrongly-taken successor's DCS must "
+                  "collide with the expected one (1/32)",
+                  incidental=_WILD,
+                  rationale="the CFC keeps its own verified flag copy, so "
+                  "a corrupted branch input executes the other successor "
+                  "against the correct expectation")
+
+    if target == "state.flag":
+        return mk(ALIASED, detected_by=(CHECKER_CONTROL_FLOW,),
+                  alias_kind=CONDITIONAL,
+                  condition="the corrupted flag must feed a conditional "
+                  "branch to diverge control flow; a flip never consumed "
+                  "before halt reaches the final-state comparison "
+                  "unchecked",
+                  incidental=_WILD,
+                  rationale="the architectural flag is only observable "
+                  "through branch direction (then the 1/32 DCS compare "
+                  "applies) or the final state")
+
+    if target == "ctl.hang":
+        return mk(DETECTED, detected_by=(CHECKER_WATCHDOG,),
+                  rationale="a stalled pipeline is exactly what the "
+                  "63-cycle stall watchdog counts; the masking run hangs "
+                  "(a liveness violation), the detection run fires")
+
+    # -- Argus checker hardware (alarm-only by construction) ---------------
+    if target in ("ex.shs_a", "ex.shs_b", "state.shs", "cfc.dcs",
+                  "cfc.computed", "cfc.expected", "state.cfc.expected"):
+        return mk(MASKED, detected_by=(CHECKER_CONTROL_FLOW,),
+                  rationale="SHS/CFC checker state only; a flip can "
+                  "desynchronise the DCS compare (false alarm / DME) but "
+                  "has no architectural path")
+
+    if target.startswith("chk."):
+        return mk(MASKED, detected_by=(CHECKER_COMPUTATION,),
+                  rationale="sub-checker internal value; a flip can only "
+                  "make the replay comparison fail (false alarm / DME)")
+
+    return mk(UNKNOWN, rationale="no static rule owns this signal")
+
+
+class StaticCoverageMap:
+    """Static classification of the full injection-point population."""
+
+    def __init__(self, entries, profile):
+        self.entries = list(entries)
+        self.profile = profile
+        self._by_key = {entry.key: entry for entry in self.entries}
+
+    def __len__(self):
+        return len(self.entries)
+
+    def lookup(self, spec):
+        """Entry for a :class:`~repro.faults.model.FaultSpec` (or None)."""
+        return self._by_key.get((spec.target, spec.mask, spec.index))
+
+    def unknown(self):
+        return [e for e in self.entries if e.outcome == UNKNOWN]
+
+    def outcome_counts(self):
+        counts = {}
+        for entry in self.entries:
+            counts[entry.outcome] = counts.get(entry.outcome, 0) + 1
+        return counts
+
+    def outcome_weights(self):
+        """Gate-weighted fraction of the population per outcome."""
+        weights = {}
+        total = 0.0
+        for entry in self.entries:
+            weights[entry.outcome] = weights.get(entry.outcome, 0.0) + entry.weight
+            total += entry.weight
+        if total:
+            weights = {k: v / total for k, v in weights.items()}
+        return weights
+
+    def classes(self):
+        """Aggregate rows per (target, double_bit, outcome) signal class."""
+        grouped = {}
+        order = []
+        for entry in self.entries:
+            key = (entry.target, entry.double_bit, entry.outcome)
+            if key not in grouped:
+                grouped[key] = {"target": entry.target,
+                                "double_bit": entry.double_bit,
+                                "outcome": entry.outcome,
+                                "component": entry.component,
+                                "detected_by": sorted(entry.detected_by),
+                                "incidental": sorted(entry.incidental),
+                                "alias_probability": entry.alias_probability,
+                                "alias_kind": entry.alias_kind,
+                                "condition": entry.condition,
+                                "rationale": entry.rationale,
+                                "points": 0, "weight": 0.0}
+                order.append(key)
+            grouped[key]["points"] += 1
+            grouped[key]["weight"] += entry.weight
+        return [grouped[key] for key in order]
+
+    def to_dict(self):
+        return {
+            "points": len(self.entries),
+            "outcomes": self.outcome_counts(),
+            "weighted": self.outcome_weights(),
+            "classes": self.classes(),
+        }
+
+
+def build_static_coverage_map(embedded=None, points=None,
+                              include_double_bits=True, include_inert=True):
+    """Classify the whole injection-point population.
+
+    Without ``embedded`` the audit assumes every instruction class is
+    exercised (the population-level claim); with it, signals the
+    program's text provably never drives are reclassified as
+    masked-by-construction for that workload.  ``points`` overrides the
+    population (e.g. a campaign's own point list) so the differential
+    gate can look up every sampled spec.
+    """
+    if embedded is None:
+        profile = ExerciseProfile.full()
+    else:
+        profile = ExerciseProfile.of_program(embedded.program)
+    if points is None:
+        points = build_point_population(include_double_bits=include_double_bits,
+                                        include_inert=include_inert)
+    entries = [classify_point(point, profile) for point in points]
+    return StaticCoverageMap(entries, profile)
+
+
+# ---------------------------------------------------------------------------
+# Audit lints ARG014-ARG017.
+# ---------------------------------------------------------------------------
+
+def audit_coverage_map(coverage_map, report=None):
+    """Run the coverage lints over a map; returns an AnalysisReport.
+
+    * **ARG014** - a *single-bit* datapath point is blind: contradicts
+      the paper's core claim that double-bit fan-out faults are the only
+      undetectable datapath class.
+    * **ARG015** - an algebraically aliased class claims an escape
+      probability above its checker's analytic bound (1/32 for the DCS
+      compare, 1/31 for the modulo residue).
+    * **ARG016** - an inventory point no classification rule owns.
+    * **ARG017** - an ideal-checker condition whose concrete refinement
+      owns no injection point (the formal spec is not covered).
+    """
+    report = report if report is not None else AnalysisReport()
+
+    unknown_by_target = {}
+    for entry in coverage_map.unknown():
+        unknown_by_target[entry.target] = unknown_by_target.get(entry.target, 0) + 1
+    for target in sorted(unknown_by_target):
+        report.add("ARG016", "%d point(s) on %s have no owning checker "
+                   "rule" % (unknown_by_target[target], target))
+
+    blind_by_target = {}
+    for entry in coverage_map.entries:
+        if entry.outcome == BLIND and not entry.double_bit:
+            blind_by_target[entry.target] = blind_by_target.get(entry.target, 0) + 1
+    for target in sorted(blind_by_target):
+        report.add("ARG014", "%d single-bit point(s) on %s escape every "
+                   "checker" % (blind_by_target[target], target))
+
+    flagged = set()
+    for entry in coverage_map.entries:
+        if entry.outcome != ALIASED or entry.alias_kind != ALGEBRAIC:
+            continue
+        bound = max((ALIASING_BOUNDS.get(c, 0.0) for c in entry.detected_by),
+                    default=0.0)
+        if (entry.alias_probability or 0.0) > bound + 1e-12:
+            key = (entry.target, entry.detected_by)
+            if key not in flagged:
+                flagged.add(key)
+                report.add("ARG015", "%s claims aliasing %.4g above the "
+                           "analytic bound %.4g of %s"
+                           % (entry.target, entry.alias_probability, bound,
+                              "/".join(entry.detected_by) or "(none)"))
+
+    owners = set()
+    for entry in coverage_map.entries:
+        if entry.outcome in (DETECTED, ALIASED):
+            owners.update(entry.detected_by)
+        elif entry.outcome == MASKED and entry.condition == NEVER_EVALUATED:
+            # The checker hardware exists even when this workload never
+            # drives the signal; recover the owner under the full profile
+            # so ARG017 judges the refinement *structure*, not one
+            # program's instruction mix.
+            spec = FaultSpec(target=entry.target, mask=entry.mask,
+                             index=entry.index, is_state=entry.is_state)
+            full = classify_point(InjectionPoint(
+                spec, entry.weight, entry.component, entry.double_bit))
+            if full.outcome in (DETECTED, ALIASED):
+                owners.update(full.detected_by)
+    for condition in IDEAL_CONDITIONS:
+        refinement = REFINEMENT_MAP.get(condition, ())
+        if not (set(refinement) & owners):
+            report.add("ARG017", "ideal condition %s has no concrete "
+                       "checker refinement owning any injection point "
+                       "(declared: %s)"
+                       % (condition, "/".join(refinement) or "none"))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Differential gate: static map vs empirical campaign results.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One static-vs-empirical contradiction - a defect in one of the two
+    independent derivations (audit algebra or injection machinery)."""
+
+    target: str
+    mask: int
+    index: Optional[int]
+    static_outcome: str
+    quadrant: str
+    checker: Optional[str]
+    reason: str
+
+    def format(self):
+        where = self.target
+        if self.index is not None:
+            where += "[%s]" % self.index
+        return "%s mask=0x%x: static=%s empirical=%s%s - %s" % (
+            where, self.mask, self.static_outcome, self.quadrant,
+            " (%s)" % self.checker if self.checker else "", self.reason)
+
+
+def differential_audit(results, coverage_map):
+    """Cross-check experiment results against the static coverage map.
+
+    Flags, per :class:`~repro.faults.campaign.ExperimentResult`:
+
+    * a detection by a checker outside the point's ``possible_checkers``
+      (this is how a *blind* point "empirically producing a detection"
+      is judged: blind points allow only the incidental DCS/watchdog
+      consequences of wild control flow, so e.g. parity firing on an
+      even-weight flip is a defect);
+    * a statically ``detected`` point that is empirically *silent*;
+    * a statically ``masked-by-construction`` point that empirically
+      diverges architecturally (unmasked).
+
+    Returns a list of :class:`Disagreement` (empty = the two independent
+    derivations agree).
+    """
+    defects = []
+    for result in results:
+        spec = result.spec
+        entry = coverage_map.lookup(spec)
+        reason = None
+        if entry is None:
+            defects.append(Disagreement(
+                spec.target, spec.mask, spec.index, UNKNOWN,
+                result.quadrant, result.checker,
+                "experiment injected a point the static map does not "
+                "classify"))
+            continue
+        if result.detected and result.checker not in entry.possible_checkers:
+            reason = ("detected by %s, which the audit proves cannot fire "
+                      "here (possible: %s)"
+                      % (result.checker,
+                         "/".join(sorted(entry.possible_checkers)) or "none"))
+        elif entry.outcome == DETECTED and result.silent:
+            reason = ("statically detected point silently corrupted "
+                      "architectural state")
+        elif entry.outcome == MASKED and not result.masked:
+            reason = ("statically masked point produced architectural "
+                      "divergence")
+        if reason is not None:
+            defects.append(Disagreement(
+                spec.target, spec.mask, spec.index, entry.outcome,
+                result.quadrant, result.checker, reason))
+    return defects
+
+
+__all__ = [
+    "DETECTED", "ALIASED", "BLIND", "MASKED", "UNKNOWN", "OUTCOMES",
+    "ALGEBRAIC", "CONDITIONAL",
+    "REFINEMENT_MAP", "ALIASING_BOUNDS", "EXERCISE_REQUIREMENTS",
+    "ExerciseProfile", "PointCoverage", "StaticCoverageMap",
+    "classify_point", "build_static_coverage_map", "audit_coverage_map",
+    "Disagreement", "differential_audit",
+]

@@ -37,6 +37,15 @@ CODES = {
     "ARG011": (ERROR, "jump-table .codeptr tag mismatch"),
     "ARG012": (ERROR, "entry-point DCS mismatch"),
     "ARG013": (WARNING, "register may be used before it is defined"),
+    # -- static checker-coverage audit (repro.analysis.coverage) ---------
+    "ARG014": (ERROR, "single-bit datapath fault point is blind (no "
+                      "checker can ever detect it)"),
+    "ARG015": (ERROR, "checker's static aliasing probability exceeds its "
+                      "analytic bound"),
+    "ARG016": (ERROR, "injection point with no owning checker rule in "
+                      "the coverage audit"),
+    "ARG017": (ERROR, "ideal-checker condition with no concrete checker "
+                      "refinement"),
 }
 
 

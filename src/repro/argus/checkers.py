@@ -36,6 +36,10 @@ class AdderChecker:
     is injectable via the ``chk.adder.*`` signals.
     """
 
+    #: Exact replay + full-width compare: no error pattern on the checked
+    #: result can alias (static coverage audit hook).
+    ALIASING_PROBABILITY = 0.0
+
     def __init__(self, tap=None):
         self._tap = tap or _no_tap
 
@@ -83,6 +87,10 @@ class RsseChecker:
     (replay with a zero-bit shift), and the alignment/extension of
     sub-word loads (Sec. 3.4).
     """
+
+    #: Exact replay + full-width compare: no error pattern on the checked
+    #: result can alias (static coverage audit hook).
+    ALIASING_PROBABILITY = 0.0
 
     def __init__(self, tap=None):
         self._tap = tap or _no_tap
@@ -224,3 +232,26 @@ class ModuloChecker:
         lhs = self._tap("chk.mod.lhs", (self._mod(sb) * self._mod(sq)) % m)
         rhs = self._tap("chk.mod.rhs", (self._mod(sa) - self._mod(sr)) % m)
         return lhs == rhs
+
+    # -- algebra hooks for the static coverage audit ---------------------
+    def single_bit_residues(self, width=64):
+        """``{bit: 2**bit mod M}`` - the residue shift a single-bit error
+        at that bit position causes on the checked value.
+
+        A residue of 0 would make the bit invisible to the check.  For an
+        odd modulus (every Mersenne modulus is odd) no power of two is a
+        multiple of M, so every single-bit product/remainder error is
+        detected; aliasing requires a multi-bit error pattern that sums
+        to a multiple of M.
+        """
+        return {bit: pow(2, bit, self.modulus) for bit in range(width)}
+
+    def detects_single_bit(self, bit):
+        """True when a single-bit error at ``bit`` shifts the residue."""
+        return pow(2, bit, self.modulus) != 0
+
+    def aliasing_probability(self):
+        """Escape probability for a uniformly random non-zero error: the
+        fraction of deltas that are multiples of M, i.e. 1/M (the paper's
+        residual-coverage caveat for the modulo check)."""
+        return 1.0 / self.modulus

@@ -47,3 +47,56 @@ def crc5_bits(value, nbits, state=0):
 def crc5_word(word, state=0):
     """CRC5 over a 32-bit word (big-endian bit order)."""
     return crc5_bits(word & 0xFFFFFFFF, 32, state)
+
+
+# ---------------------------------------------------------------------------
+# Algebra hooks for the static coverage audit (repro.analysis.coverage).
+#
+# With a zero initial state the CRC register update is linear over GF(2):
+# crc5_bits(x ^ y, n) == crc5_bits(x, n) ^ crc5_bits(y, n).  An injected
+# error ``delta`` on a hashed message therefore perturbs the signature by
+# exactly ``crc5_bits(delta, n)`` - independent of the message - so the
+# detection behaviour of every error pattern can be derived without
+# enumerating messages.
+# ---------------------------------------------------------------------------
+
+def single_bit_syndromes(nbits, state=0):
+    """``{bit: syndrome}`` of every single-bit error in an ``nbits`` message.
+
+    A syndrome of 0 would mean the flip aliases (escapes the 5-bit hash);
+    the generator x^5 + x^2 + 1 is primitive with period 31, so all
+    single-bit syndromes are non-zero and bits 31 apart share a syndrome.
+    """
+    return {bit: crc5_bits(1 << bit, nbits, state) for bit in range(nbits)}
+
+
+def residue_classes(nbits):
+    """Exhaustively partition all ``2**nbits`` error patterns by syndrome.
+
+    Returns ``{syndrome: pattern count}``.  For ``nbits >= 5`` the CRC map
+    is surjective and linear, so the 32 classes are the equal-sized cosets
+    of its kernel (``2**(nbits-5)`` patterns each); the zero-syndrome
+    class minus the zero pattern is the exact aliasing set.  Exhaustive by
+    construction - keep ``nbits`` small (the audit uses the closed form
+    for 32-bit signals and this enumeration to validate it).
+    """
+    if nbits > 20:
+        raise ValueError("exhaustive enumeration is for small widths; "
+                         "use aliasing_fraction() for nbits=%d" % nbits)
+    classes = {}
+    for delta in range(1 << nbits):
+        syndrome = crc5_bits(delta, nbits)
+        classes[syndrome] = classes.get(syndrome, 0) + 1
+    return classes
+
+
+def aliasing_fraction(nbits):
+    """Closed-form fraction of non-zero ``nbits`` error patterns aliasing.
+
+    The kernel of the linear CRC map has ``2**(nbits-5)`` elements, so
+    ``(2**(nbits-5) - 1) / (2**nbits - 1)`` of the non-zero patterns hash
+    to syndrome 0 - just under 1/32, the paper's aliasing odds.
+    """
+    if nbits < _WIDTH:
+        return 0.0
+    return (2 ** (nbits - _WIDTH) - 1) / (2 ** nbits - 1)

@@ -32,13 +32,8 @@ def _build_permutation():
 PERMUTATION = _build_permutation()
 
 
-def compute_dcs(shs_values):
-    """Fold a full SHS snapshot (35 x 5-bit values) into the 5-bit DCS."""
-    # Flatten location signatures into one bit vector, MSB of location 0
-    # first, mirroring the wide SHS register of Argus-1.
-    flat = 0
-    for value in shs_values:
-        flat = (flat << shs_mod.SHS_BITS) | (value & shs_mod.SHS_MASK)
+def _fold_flat(flat):
+    """Permute + XOR-fold one flat SHS bit vector down to DCS_BITS."""
     # Hard-wired permutation.
     permuted = 0
     for i, src in enumerate(PERMUTATION):
@@ -52,6 +47,47 @@ def compute_dcs(shs_values):
     return dcs
 
 
+def compute_dcs(shs_values):
+    """Fold a full SHS snapshot (35 x 5-bit values) into the 5-bit DCS."""
+    # Flatten location signatures into one bit vector, MSB of location 0
+    # first, mirroring the wide SHS register of Argus-1.
+    flat = 0
+    for value in shs_values:
+        flat = (flat << shs_mod.SHS_BITS) | (value & shs_mod.SHS_MASK)
+    return _fold_flat(flat)
+
+
 def dcs_of_file(shs_file):
     """DCS of a live :class:`~repro.argus.shs.ShsFile`."""
     return compute_dcs(shs_file.values)
+
+
+# ---------------------------------------------------------------------------
+# Algebra hooks for the static coverage audit (repro.analysis.coverage).
+#
+# Permute + XOR-fold is linear over GF(2): an error ``delta`` XORed into
+# the flat SHS vector perturbs the DCS by exactly ``fold_delta(delta)``,
+# independent of the SHS contents.
+# ---------------------------------------------------------------------------
+
+#: Worst-case probability that two independent 5-bit DCS values collide -
+#: the fold is surjective, so a uniformly distributed corruption of the
+#: SHS vector escapes the block compare with probability 1/32.
+DCS_ALIASING_BOUND = 1.0 / (1 << DCS_BITS)
+
+
+def fold_delta(flat_delta):
+    """DCS perturbation caused by XORing ``flat_delta`` into the flat
+    SHS vector (valid for any SHS contents, by linearity of the fold)."""
+    return _fold_flat(flat_delta)
+
+
+def single_bit_sensitivity():
+    """``{flat bit: DCS delta}`` for every single-bit SHS flip.
+
+    Each flat bit is routed to exactly one fold position, so every
+    single-bit delta is a power of two - never zero: no single SHS bit is
+    blind to the DCS compare, which is what makes a flat SHS corruption's
+    escape odds exactly the 1/32 collision bound rather than worse.
+    """
+    return {bit: _fold_flat(1 << bit) for bit in range(_TOTAL_BITS)}

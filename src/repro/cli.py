@@ -11,6 +11,11 @@ Commands:
   verifier (:mod:`repro.analysis`): CFG recovery, structural lints,
   DCS re-derivation and dataflow over sources, objects or the bundled
   workload suite; exits 1 on errors, 2 on load/embed failure.
+* ``audit [INPUTS...] [--all-workloads] [--classes] [--format json]`` -
+  static checker-coverage audit (:mod:`repro.analysis.coverage`):
+  classifies every fault-injection point as detected / aliased(p) /
+  blind / masked-by-construction from the checker algebra alone and
+  lints the map (ARG014-ARG017); exits 1 on errors, 2 on load failure.
 * ``run OBJ_OR_SOURCE [--checked] [--ways N]`` - execute; embedded
   objects (or ``--checked`` on source) run on the fully-checked core.
 * ``trace SOURCE [--limit N]`` - disassembled execution trace plus the
@@ -18,8 +23,10 @@ Commands:
 * ``inject SOURCE --signal NAME --bit N [--at K]`` - run with one
   injected fault and report which checker (if any) detected it.
 * ``campaign [--workers N] [--journal PATH] [--resume]
-  [--no-checkpoints]`` - parallel, journaled, checkpoint-accelerated
-  fault-injection campaign with live telemetry (Table 1).
+  [--no-checkpoints] [--audit]`` - parallel, journaled,
+  checkpoint-accelerated fault-injection campaign with live telemetry
+  (Table 1); ``--audit`` cross-checks every empirical result against
+  the static coverage map (a disagreement is a defect).
 * ``report [--experiments N] [--workers N]`` - the full
   paper-vs-measured report.
 
@@ -174,14 +181,13 @@ def _lint_targets(args):
     from repro.io import load_raw
     from repro.toolchain import EmbedError, MAX_BLOCK_INSNS
 
+    from repro.workloads import iter_analysis_targets
+
     if args.max_block is None:
         args.max_block = MAX_BLOCK_INSNS
-    targets = [(path, None) for path in args.inputs]
-    if args.all_workloads:
-        from repro.workloads import ALL_WORKLOADS
-        targets += [(workload.name, workload) for workload in ALL_WORKLOADS]
 
-    for name, workload in targets:
+    for name, workload in iter_analysis_targets(args.inputs,
+                                                args.all_workloads):
         try:
             if workload is not None:
                 report = analyze_embedded(workload.build_embedded(),
@@ -245,6 +251,88 @@ def cmd_lint(args):
     return 1 if failed_lint else 0
 
 
+def _audit_targets(args):
+    """Yield (name, coverage-map-or-None, failure-message-or-None).
+
+    With no inputs at all the audit runs once over the full injection
+    population under the every-instruction-class-exercised profile - the
+    paper-level claim; per-workload maps reclassify signals that
+    workload provably never drives.
+    """
+    from repro.analysis.coverage import build_static_coverage_map
+    from repro.toolchain import EmbedError
+    from repro.workloads import iter_analysis_targets
+
+    targets = list(iter_analysis_targets(args.inputs, args.all_workloads))
+    if not targets:
+        yield "<population>", build_static_coverage_map(), None
+        return
+    for name, workload in targets:
+        try:
+            if workload is not None:
+                embedded = workload.build_embedded()
+            elif str(name).endswith(".aro"):
+                embedded = load_embedded(name)
+            else:
+                embedded = embed_program(_read_source(name))
+        except (OSError, EmbedError, ValueError) as exc:
+            yield name, None, "%s: %s" % (type(exc).__name__, exc)
+            continue
+        yield name, build_static_coverage_map(embedded), None
+
+
+def cmd_audit(args):
+    """Static checker-coverage audit: classify every injection point
+    analytically and lint the result (ARG014-ARG017)."""
+    import json
+
+    from repro.analysis.coverage import OUTCOMES, audit_coverage_map
+
+    failed_load = False
+    failed_audit = False
+    results = []
+    for name, coverage_map, failure in _audit_targets(args):
+        if coverage_map is None:
+            failed_load = True
+            results.append({"target": str(name), "ok": False,
+                            "failure": failure})
+            if args.format == "text":
+                print("%s: FAILED to load/embed: %s" % (name, failure))
+            continue
+        report = audit_coverage_map(coverage_map)
+        if not report.ok:
+            failed_audit = True
+        entry = {"target": str(name), **coverage_map.to_dict(),
+                 "audit": report.to_dict()}
+        results.append(entry)
+        if args.format == "text":
+            counts = coverage_map.outcome_counts()
+            weights = coverage_map.outcome_weights()
+            summary = "  ".join(
+                "%s=%d (%.1f%%)" % (outcome, counts[outcome],
+                                    100 * weights.get(outcome, 0.0))
+                for outcome in OUTCOMES + ("unknown",)
+                if outcome in counts)
+            print("%s: %d points  %s" % (name, len(coverage_map), summary))
+            if args.classes:
+                total = sum(e.weight for e in coverage_map.entries) or 1.0
+                for row in coverage_map.classes():
+                    label = row["target"] + ("+2bit" if row["double_bit"]
+                                             else "")
+                    owner = "/".join(row["detected_by"]) or "-"
+                    print("  %-24s %-22s by=%-20s %5d pts  %6.3f%% wt"
+                          % (label, row["outcome"], owner, row["points"],
+                             100 * row["weight"] / total))
+            for diagnostic in report.diagnostics:
+                print("  " + diagnostic.format())
+    if args.format == "json":
+        print(json.dumps({"ok": not (failed_load or failed_audit),
+                          "targets": results}, indent=2, sort_keys=True))
+    if failed_load:
+        return 2
+    return 1 if failed_audit else 0
+
+
 def cmd_characterize(args):
     from repro.eval.characterization import (
         characterize_suite, format_characterization)
@@ -300,12 +388,19 @@ def cmd_campaign(args):
                         use_checkpoints=not args.no_checkpoints,
                         checkpoint_interval=args.checkpoint_interval)
     telemetry = NullTelemetry() if args.quiet else StderrTelemetry()
+    if args.audit:
+        from repro.analysis.coverage import (
+            build_static_coverage_map, differential_audit)
+        coverage_map = build_static_coverage_map(campaign.embedded,
+                                                 points=campaign.points)
+    defects = []
     dump = {}
     for duration in durations:
         summary = campaign.run(
             experiments=args.experiments, duration=duration,
             workers=args.workers, journal=args.journal, resume=args.resume,
-            telemetry=telemetry, keep_results=False, timeout=args.timeout)
+            telemetry=telemetry, keep_results=args.audit,
+            timeout=args.timeout)
         fractions = summary.fractions()
         print("[%s] %d experiments" % (duration, summary.total))
         print("  silent %.2f%% | unmasked+detected %.2f%% | "
@@ -322,12 +417,20 @@ def cmd_campaign(args):
             "unmasked_coverage": summary.unmasked_coverage,
             "masked_detection_rate": summary.masked_detection_rate,
         }
+        if args.audit:
+            found = differential_audit(summary.results, coverage_map)
+            defects.extend(found)
+            print("  differential audit: %d disagreement(s)" % len(found))
+            for defect in found:
+                print("    " + defect.format())
+            dump[duration]["audit_disagreements"] = [
+                defect.format() for defect in found]
     if args.json:
         with open(args.json, "w") as handle:
             json.dump({"seed": args.seed, "summaries": dump}, handle,
                       indent=2, sort_keys=True)
         print("wrote %s" % args.json)
-    return 0
+    return 1 if defects else 0
 
 
 def build_parser():
@@ -363,6 +466,21 @@ def build_parser():
     p.add_argument("--max-block", type=int, default=None,
                    help="override the MAX_BLOCK_INSNS bound")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "audit",
+        help="static checker-coverage audit: prove detection/aliasing "
+             "per fault bit without injection")
+    p.add_argument("inputs", nargs="*",
+                   help="assembly sources or .aro objects; none = audit "
+                        "the full injection population")
+    p.add_argument("--all-workloads", action="store_true",
+                   help="also audit every bundled workload's embedded "
+                        "binary under its own exercise profile")
+    p.add_argument("--format", default="text", choices=("text", "json"))
+    p.add_argument("--classes", action="store_true",
+                   help="print the per-signal-class breakdown")
+    p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser("run", help="execute an object or source file")
     p.add_argument("input")
@@ -432,6 +550,9 @@ def build_parser():
                    help="dynamic instructions between golden-run "
                         "snapshots (default: auto)")
     p.add_argument("--json", help="write a machine-readable summary here")
+    p.add_argument("--audit", action="store_true",
+                   help="cross-check every result against the static "
+                        "coverage map; any disagreement exits 1")
     p.add_argument("--quiet", action="store_true",
                    help="suppress live progress telemetry on stderr")
     p.set_defaults(func=cmd_campaign)

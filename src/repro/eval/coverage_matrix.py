@@ -120,3 +120,36 @@ def verify_matrix(matrix):
         if coverage.dominant_checker != expected:
             mismatches.append((signal, expected, coverage.dominant_checker))
     return mismatches
+
+
+def verify_against_static(matrix, coverage_map=None):
+    """Cross-check the empirical matrix against the static coverage map.
+
+    The second half of the two-independent-derivations discipline (the
+    first being :func:`verify_matrix`'s hand-written expectations): for
+    every signal, the set of checkers the audit proves *can* fire -
+    ``possible_checkers`` over all of the signal's points, folded
+    through the paper grouping - must contain every checker the probes
+    empirically observed.  Returns (signal, observed_checker,
+    allowed_set) mismatches; empty means the derivations agree.
+    """
+    from repro.analysis.coverage import build_static_coverage_map
+
+    if coverage_map is None:
+        coverage_map = build_static_coverage_map(include_inert=False)
+    allowed_by_signal = {}
+    for entry in coverage_map.entries:
+        allowed = allowed_by_signal.setdefault(entry.target, set())
+        for checker in entry.possible_checkers:
+            allowed.add(PAPER_GROUPING.get(checker, checker))
+    mismatches = []
+    for signal, coverage in matrix.items():
+        allowed = allowed_by_signal.get(signal)
+        if allowed is None:
+            # the matrix probed a signal the static map does not know
+            mismatches.append((signal, None, frozenset()))
+            continue
+        for key in coverage.outcomes:
+            if key != "undetected" and key not in allowed:
+                mismatches.append((signal, key, frozenset(allowed)))
+    return mismatches

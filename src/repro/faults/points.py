@@ -97,11 +97,16 @@ _SIGNAL_TABLE = (
     ("lsu.mem_waddr", 25, 2, None, "lsu", 0.06, False),
     ("lsu.store_data", 32, 0, None, "lsu", 0.22, False),
     ("lsu.load_data", 32, 0, None, "lsu", 0.22, False),
-    # fetch / PC / branch (PC bits [1:0] do not exist in hardware)
-    ("if.pc", 26, 2, None, "fetch", 0.25, False),
-    ("state.pc", 26, 2, None, "fetch", 0.25, True),
+    # fetch / PC / branch.  The PC datapath is ADDR_BITS (27) wide with
+    # bits [1:0] hard-wired zero, so exactly 25 bits exist in hardware.
+    # (The table once said 26; the static coverage audit caught the
+    # off-by-one: a bit-27 flip is invisible to fetch and to every
+    # checker, yet state.pc/ctl.btarget latches would carry it into the
+    # architectural PC - a blind point that does not exist in silicon.)
+    ("if.pc", 25, 2, None, "fetch", 0.25, False),
+    ("state.pc", 25, 2, None, "fetch", 0.25, True),
     ("if.inst", 32, 0, None, "fetch", 0.25, False),
-    ("ctl.btarget", 26, 2, None, "fetch", 0.25, False),
+    ("ctl.btarget", 25, 2, None, "fetch", 0.25, False),
     # decode: the three distributed instruction copies (Fig. 3)
     ("id.word.fu", 32, 0, None, "decode", 0.70, False),
     ("id.word.chk", 32, 0, None, "decode", 0.15, False),
@@ -129,6 +134,29 @@ _SIGNAL_TABLE = (
     ("cfc.expected", 5, 0, None, "cfc", 0.30, False),
     ("state.cfc.expected", 5, 0, None, "cfc", 0.40, True),
 )
+
+@dataclass(frozen=True)
+class SignalRow:
+    """Public, structured view of one signal-inventory row."""
+
+    target: str
+    width: int
+    bit_offset: int
+    indices: tuple  # () for unindexed targets
+    component: str
+    share: float
+    is_state: bool
+
+
+def signal_rows():
+    """The signal inventory as structured rows (audit/consistency API)."""
+    return tuple(
+        SignalRow(target, width, offset,
+                  tuple(index_range) if index_range is not None else (),
+                  component, share, is_state)
+        for target, width, offset, index_range, component, share, is_state
+        in _SIGNAL_TABLE)
+
 
 #: Datapath signals that also get double-bit (even-weight) fan-out points.
 _DOUBLE_BIT_SIGNALS = {

@@ -140,6 +140,15 @@ def correct_trace(program, initial_regs=None, initial_mem=None):
 # The ideal checker conditions.
 # ---------------------------------------------------------------------------
 
+#: The ideal checker conditions of Appendix A, exactly the strings
+#: :func:`check_trace` flags.  This tuple is the specification surface the
+#: static coverage audit (:mod:`repro.analysis.coverage`) maps each
+#: concrete Argus-1 checker onto: every condition must be refined by at
+#: least one concrete checker that owns injection points, else the audit
+#: raises ARG017.
+IDEAL_CONDITIONS = ("CFC", "DFC_S", "DFC_V", "MFC_S", "MFC_V", "CC")
+
+
 @dataclass
 class CheckResult:
     """Which checker conditions a trace violates (empty = all pass)."""

@@ -36,7 +36,25 @@ ALL_WORKLOADS = (
 
 WORKLOADS = {wl.name: wl for wl in ALL_WORKLOADS}
 
-__all__ = ["Workload", "WORKLOADS", "ALL_WORKLOADS"] + [
+
+def iter_analysis_targets(inputs=(), all_workloads=False):
+    """Yield ``(name, workload-or-None)`` analysis targets.
+
+    The single enumeration shared by every CLI command that walks a mix
+    of user-supplied files and the bundled suite (``lint
+    --all-workloads``, ``audit --all-workloads``): file paths first
+    (workload slot ``None``), then - when ``all_workloads`` is set -
+    every bundled workload in suite order.
+    """
+    for path in inputs:
+        yield path, None
+    if all_workloads:
+        for workload in ALL_WORKLOADS:
+            yield workload.name, workload
+
+
+__all__ = ["Workload", "WORKLOADS", "ALL_WORKLOADS",
+           "iter_analysis_targets"] + [
     "ADPCM_ENC", "ADPCM_DEC", "EPIC", "G721_ENC", "G721_DEC", "GS", "GSM",
     "JPEG_ENC", "JPEG_DEC", "MESA", "MPEG2", "PEGWIT", "RASTA",
 ]

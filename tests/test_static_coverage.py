@@ -1,0 +1,595 @@
+"""Static checker-coverage audit (repro.analysis.coverage).
+
+Four layers of the same guarantee:
+
+1. the *checker algebra hooks* match exhaustive enumeration (all 32 CRC5
+   residue classes, every modulo-31 power-of-two residue, every DCS fold
+   sensitivity bit);
+2. the *classification* covers 100% of the injection-point population
+   with no ``unknown`` and the expected per-signal outcomes;
+3. the *audit lints* ARG014-ARG017 stay silent on the healthy map and
+   fire on fabricated defects;
+4. the *differential gate* agrees with real campaign results and flags
+   fabricated static/empirical contradictions.
+
+Plus the satellite consistency check: the fault population's gate
+inventory and the area model must describe the same machine.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.coverage import (
+    ALGEBRAIC,
+    ALIASED,
+    ALIASING_BOUNDS,
+    BLIND,
+    DETECTED,
+    MASKED,
+    REFINEMENT_MAP,
+    UNKNOWN,
+    Disagreement,
+    ExerciseProfile,
+    PointCoverage,
+    StaticCoverageMap,
+    audit_coverage_map,
+    build_static_coverage_map,
+    classify_point,
+    differential_audit,
+)
+from repro.argus import crc, dcs
+from repro.argus.checkers import ModuloChecker
+from repro.argus.errors import (
+    CHECKER_COMPUTATION,
+    CHECKER_CONTROL_FLOW,
+    CHECKER_PARITY,
+    CHECKER_WATCHDOG,
+)
+from repro.cli import main as cli_main
+from repro.faults.campaign import Campaign
+from repro.faults.model import TRANSIENT, FaultSpec
+from repro.faults.points import (
+    ARGUS_COMPONENTS,
+    BASELINE_COMPONENTS,
+    GATE_INVENTORY,
+    InjectionPoint,
+    build_point_population,
+    signal_rows,
+)
+from repro.formal.machine import IDEAL_CONDITIONS
+from repro.isa.opcodes import Op
+from repro.toolchain import embed_program
+
+
+# ---------------------------------------------------------------------------
+# 1. CRC5 aliasing algebra, exhaustively (satellite: all 32 classes).
+# ---------------------------------------------------------------------------
+
+class TestCrc5Algebra:
+    def test_all_single_bit_syndromes_nonzero(self):
+        syndromes = crc.single_bit_syndromes(32)
+        assert len(syndromes) == 32
+        assert all(s != 0 for s in syndromes.values())
+
+    def test_single_bit_syndromes_distinct_within_period(self):
+        # x^5 + x^2 + 1 is primitive: period 31, so the first 31 bit
+        # positions map to 31 *distinct* non-zero syndromes and bit 31
+        # wraps around onto bit 0's syndrome.
+        syndromes = crc.single_bit_syndromes(32)
+        first31 = [syndromes[b] for b in range(31)]
+        assert len(set(first31)) == 31
+        assert syndromes[31] == syndromes[0]
+
+    def test_residue_classes_exhaustive_10bit(self):
+        # All 2**10 patterns fall into 32 equal cosets of the kernel.
+        classes = crc.residue_classes(10)
+        assert len(classes) == 32
+        assert set(classes.values()) == {2 ** (10 - 5)}
+        assert sum(classes.values()) == 2 ** 10
+
+    def test_aliasing_fraction_matches_enumeration(self):
+        classes = crc.residue_classes(10)
+        aliasing = (classes[0] - 1) / (2 ** 10 - 1)  # minus the zero pattern
+        assert crc.aliasing_fraction(10) == pytest.approx(aliasing)
+        assert crc.aliasing_fraction(10) == pytest.approx(31 / 1023)
+
+    def test_aliasing_fraction_under_1_32(self):
+        for nbits in (5, 8, 10, 16, 32):
+            assert 0.0 <= crc.aliasing_fraction(nbits) < 1 / 32
+        assert crc.aliasing_fraction(4) == 0.0
+
+    def test_linearity(self):
+        # crc(x ^ y) == crc(x) ^ crc(y) with zero initial state - the
+        # property the whole symbolic-propagation argument rests on.
+        for x, y in [(0x123, 0x3FF), (0x2AA, 0x155), (1, 1 << 9)]:
+            assert (crc.crc5_bits(x ^ y, 10)
+                    == crc.crc5_bits(x, 10) ^ crc.crc5_bits(y, 10))
+
+    def test_residue_classes_refuses_large_widths(self):
+        with pytest.raises(ValueError):
+            crc.residue_classes(32)
+
+
+# ---------------------------------------------------------------------------
+# 1b. Modulo-31 residue algebra vs behavioural checks.
+# ---------------------------------------------------------------------------
+
+class TestModuloAlgebra:
+    def test_all_single_bit_residues_nonzero(self):
+        residues = ModuloChecker().single_bit_residues(64)
+        assert len(residues) == 64
+        assert all(r != 0 for r in residues.values())
+
+    def test_residues_cycle_with_period_five(self):
+        # 2**5 = 32 = 1 mod 31: the residues cycle through {1,2,4,8,16}.
+        residues = ModuloChecker().single_bit_residues(64)
+        assert set(residues.values()) == {1, 2, 4, 8, 16}
+        for bit in range(59):
+            assert residues[bit + 5] == residues[bit]
+
+    def test_check_mul_catches_every_single_bit_flip(self):
+        # Behavioural confirmation of the algebra on all 64 positions.
+        checker = ModuloChecker()
+        a, b = 123457, 998877
+        product = a * b
+        assert checker.check_mul(Op.MULU, a, b, product)
+        for bit in range(64):
+            assert not checker.check_mul(Op.MULU, a, b, product ^ (1 << bit))
+
+    def test_check_div_quotient_escape_iff_divisor_multiple_of_31(self):
+        checker = ModuloChecker()
+        for b in (31, 62, 93):  # divisor = 0 mod 31: quotient unchecked
+            a = 7_000_001
+            q, r = divmod(a, b)
+            assert checker.check_div(Op.DIVU, a, b, q ^ 1, r)
+        for b in (30, 32, 7):  # divisor != 0 mod 31: flip detected
+            a = 7_000_001
+            q, r = divmod(a, b)
+            assert not checker.check_div(Op.DIVU, a, b, q ^ 1, r)
+
+    def test_aliasing_probability(self):
+        assert ModuloChecker().aliasing_probability() == pytest.approx(1 / 31)
+        assert ModuloChecker(modulus=127).aliasing_probability() == \
+            pytest.approx(1 / 127)
+
+
+# ---------------------------------------------------------------------------
+# 1c. DCS permute + fold sensitivity.
+# ---------------------------------------------------------------------------
+
+class TestDcsAlgebra:
+    def test_every_flat_bit_visible(self):
+        sensitivity = dcs.single_bit_sensitivity()
+        assert len(sensitivity) == 175  # 35 locations x 5 bits
+        for delta in sensitivity.values():
+            assert delta != 0
+            assert delta & (delta - 1) == 0  # exactly one DCS bit
+
+    def test_fold_linearity_against_compute_dcs(self):
+        values = [((3 * i + 1) * 7) % 32 for i in range(35)]
+        flat = 0
+        for value in values:
+            flat = (flat << 5) | value
+        assert dcs.fold_delta(flat) == dcs.compute_dcs(values)
+        # XORing a delta into the snapshot shifts the DCS by fold_delta.
+        delta = (1 << 7) | (1 << 100)
+        perturbed = flat ^ delta
+        assert dcs.fold_delta(perturbed) == \
+            dcs.compute_dcs(values) ^ dcs.fold_delta(delta)
+
+    def test_aliasing_bound(self):
+        assert dcs.DCS_ALIASING_BOUND == pytest.approx(1 / 32)
+
+
+# ---------------------------------------------------------------------------
+# 2. Classification of the point population.
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def full_map():
+    return build_static_coverage_map()
+
+
+class TestClassification:
+    def test_every_point_classified(self, full_map):
+        points = build_point_population()
+        assert len(full_map) == len(points)
+        assert full_map.unknown() == []
+        for entry in full_map.entries:
+            assert entry.outcome in (DETECTED, ALIASED, BLIND, MASKED)
+
+    def test_lookup_round_trip(self, full_map):
+        for point in build_point_population()[:50]:
+            entry = full_map.lookup(point.spec)
+            assert entry is not None
+            assert entry.key == (point.spec.target, point.spec.mask,
+                                 point.spec.index)
+
+    def _outcomes_of(self, full_map, target, double_bit=False):
+        return {e.outcome for e in full_map.entries
+                if e.target == target and e.double_bit == double_bit}
+
+    def test_spot_checks(self, full_map):
+        om = self._outcomes_of
+        assert om(full_map, "ex.alu.result") == {DETECTED}
+        assert om(full_map, "ex.alu.result", double_bit=True) == {DETECTED}
+        assert om(full_map, "ex.op_a") == {DETECTED}
+        assert om(full_map, "ex.op_a", double_bit=True) == {BLIND}
+        assert om(full_map, "state.rf.value") == {ALIASED}
+        assert om(full_map, "state.rf.value", double_bit=True) == {BLIND}
+        assert om(full_map, "ctl.hang") == {DETECTED}
+        assert om(full_map, "if.pc") == {ALIASED}
+        assert om(full_map, "state.shs") == {MASKED}
+        assert om(full_map, "chk.adder.sum") == {MASKED}
+        assert om(full_map, "inert.alu") == {MASKED}
+        assert om(full_map, "lsu.load_data", double_bit=True) == {DETECTED}
+
+    def test_mul_product_upper_half_masked(self, full_map):
+        entries = [e for e in full_map.entries
+                   if e.target == "ex.mul.product"]
+        assert len(entries) == 64
+        for entry in entries:
+            bit = entry.mask.bit_length() - 1
+            expected = MASKED if bit >= 32 else DETECTED
+            assert entry.outcome == expected, "bit %d" % bit
+            assert entry.detected_by == (CHECKER_COMPUTATION,)
+
+    def test_blind_points_are_all_double_bit(self, full_map):
+        for entry in full_map.entries:
+            if entry.outcome == BLIND:
+                assert entry.double_bit
+                assert entry.detected_by == ()
+
+    def test_blind_weight_is_tiny(self, full_map):
+        weights = full_map.outcome_weights()
+        assert weights[BLIND] < 0.01  # the paper's conceded sliver
+        # Masked-by-construction carries the logic-derated inert points
+        # plus checker hardware: the dominant share, as in Table 1.
+        assert 0.30 < weights[MASKED] < 0.70
+
+    def test_algebraic_alias_probabilities_within_bounds(self, full_map):
+        saw_algebraic = False
+        for entry in full_map.entries:
+            if entry.outcome != ALIASED or entry.alias_kind != ALGEBRAIC:
+                continue
+            saw_algebraic = True
+            assert entry.alias_probability is not None
+            bound = max(ALIASING_BOUNDS[c] for c in entry.detected_by)
+            assert 0.0 < entry.alias_probability <= bound + 1e-12
+        assert saw_algebraic
+
+    def test_possible_checkers_includes_incidental(self, full_map):
+        entry = next(e for e in full_map.entries
+                     if e.target == "state.rf.value" and not e.double_bit)
+        assert CHECKER_PARITY in entry.possible_checkers
+        assert CHECKER_CONTROL_FLOW in entry.possible_checkers
+        assert CHECKER_WATCHDOG in entry.possible_checkers
+
+    def test_to_dict_shapes(self, full_map):
+        data = full_map.to_dict()
+        assert data["points"] == len(full_map)
+        assert sum(data["outcomes"].values()) == len(full_map)
+        assert sum(data["weighted"].values()) == pytest.approx(1.0)
+        aliased_rows = [row for row in data["classes"]
+                        if row["outcome"] == ALIASED]
+        assert aliased_rows and all("condition" in row
+                                    for row in aliased_rows)
+
+
+class TestExerciseProfile:
+    SOURCE_NO_MULDIV = """
+    start:
+        addi r3, r0, 5
+        addi r4, r0, 7
+        add r5, r3, r4
+        halt
+    """
+
+    def test_program_without_muldiv_masks_muldiv_signals(self):
+        embedded = embed_program(self.SOURCE_NO_MULDIV)
+        coverage_map = build_static_coverage_map(embedded)
+        for target in ("ex.mul.product", "ex.div.quotient", "lsu.addr",
+                       "ex.flag", "ctl.flag"):
+            outcomes = {e.outcome for e in coverage_map.entries
+                        if e.target == target}
+            assert outcomes == {MASKED}, target
+        # ...but the ALU and the register file stay live,
+        assert {e.outcome for e in coverage_map.entries
+                if e.target == "ex.alu.result"} == {DETECTED}
+        # and state targets are never exercise-gated.
+        assert {e.outcome for e in coverage_map.entries
+                if e.target == "state.rf.value" and not e.double_bit} == \
+            {ALIASED}
+
+    def test_full_profile_exercises_everything(self):
+        profile = ExerciseProfile.full()
+        for target in ("ex.mul.product", "lsu.addr", "ctl.btarget"):
+            assert profile.exercises(target)
+
+    def test_profile_of_program_overapproximates(self):
+        embedded = embed_program(self.SOURCE_NO_MULDIV)
+        profile = ExerciseProfile.of_program(embedded.program)
+        assert Op.ADD in profile.ops
+        assert not (profile.ops & {Op.MUL, Op.MULU, Op.DIV, Op.DIVU})
+
+    def test_audit_stays_clean_under_any_workload_profile(self):
+        from repro.workloads import ALL_WORKLOADS
+        for workload in ALL_WORKLOADS[:4]:
+            coverage_map = build_static_coverage_map(
+                workload.build_embedded())
+            report = audit_coverage_map(coverage_map)
+            assert report.ok, (workload.name, report.render_text())
+
+
+# ---------------------------------------------------------------------------
+# 3. Audit lints ARG014-ARG017.
+# ---------------------------------------------------------------------------
+
+def _entry(target="x.y", mask=1, outcome=DETECTED, **kw):
+    base = dict(target=target, mask=mask, index=None, is_state=False,
+                double_bit=False, component="alu", weight=1.0,
+                outcome=outcome)
+    base.update(kw)
+    return PointCoverage(**base)
+
+
+def _healthy_owner_entries():
+    """Minimal entry set that satisfies every REFINEMENT_MAP condition."""
+    entries = []
+    owners = set()
+    for condition in IDEAL_CONDITIONS:
+        owners.update(REFINEMENT_MAP[condition])
+    for i, owner in enumerate(sorted(owners)):
+        entries.append(_entry(target="own.%s" % owner, mask=1 << i,
+                              detected_by=(owner,)))
+    return entries
+
+
+class TestAuditLints:
+    def test_healthy_population_is_clean(self, full_map):
+        report = audit_coverage_map(full_map)
+        assert report.ok, report.render_text()
+        assert report.codes() == set()
+
+    def test_arg014_blind_single_bit(self):
+        entries = _healthy_owner_entries() + [
+            _entry(target="bad.bus", outcome=BLIND)]
+        report = audit_coverage_map(StaticCoverageMap(
+            entries, ExerciseProfile.full()))
+        assert "ARG014" in report.codes()
+        assert any("bad.bus" in d.message for d in report.by_code("ARG014"))
+
+    def test_arg014_ignores_double_bit_blind(self):
+        entries = _healthy_owner_entries() + [
+            _entry(target="bus", outcome=BLIND, double_bit=True)]
+        report = audit_coverage_map(StaticCoverageMap(
+            entries, ExerciseProfile.full()))
+        assert "ARG014" not in report.codes()
+
+    def test_arg015_alias_probability_above_bound(self):
+        entries = _healthy_owner_entries() + [
+            _entry(target="bad.alias", outcome=ALIASED,
+                   detected_by=(CHECKER_CONTROL_FLOW,),
+                   alias_kind=ALGEBRAIC, alias_probability=0.2)]
+        report = audit_coverage_map(StaticCoverageMap(
+            entries, ExerciseProfile.full()))
+        assert "ARG015" in report.codes()
+
+    def test_arg015_allows_probability_at_bound(self):
+        entries = _healthy_owner_entries() + [
+            _entry(target="ok.alias", outcome=ALIASED,
+                   detected_by=(CHECKER_CONTROL_FLOW,),
+                   alias_kind=ALGEBRAIC,
+                   alias_probability=dcs.DCS_ALIASING_BOUND)]
+        report = audit_coverage_map(StaticCoverageMap(
+            entries, ExerciseProfile.full()))
+        assert "ARG015" not in report.codes()
+
+    def test_arg016_unknown_point(self):
+        entries = _healthy_owner_entries() + [
+            _entry(target="mystery.signal", outcome=UNKNOWN)]
+        report = audit_coverage_map(StaticCoverageMap(
+            entries, ExerciseProfile.full()))
+        assert "ARG016" in report.codes()
+
+    def test_arg017_uncovered_ideal_condition(self):
+        # A map whose only points are masked checker hardware leaves
+        # every ideal condition without a detecting refinement.
+        entries = [_entry(target="chk.x", outcome=MASKED,
+                          detected_by=(CHECKER_COMPUTATION,))]
+        report = audit_coverage_map(StaticCoverageMap(
+            entries, ExerciseProfile.full()))
+        assert "ARG017" in report.codes()
+        assert len(report.by_code("ARG017")) == len(IDEAL_CONDITIONS)
+
+    def test_unknown_rule_fallback_fires_on_novel_signal(self):
+        point = InjectionPoint(FaultSpec(target="novel.bus", mask=1),
+                               1.0, "alu")
+        assert classify_point(point).outcome == UNKNOWN
+
+    def test_refinement_map_covers_all_ideal_conditions(self):
+        assert set(REFINEMENT_MAP) == set(IDEAL_CONDITIONS)
+
+
+# ---------------------------------------------------------------------------
+# 4. Differential gate: static map vs empirical campaign.
+# ---------------------------------------------------------------------------
+
+class TestDifferentialGate:
+    @pytest.fixture(scope="class")
+    def campaign_run(self):
+        campaign = Campaign(seed=11)
+        summary = campaign.run(experiments=40, duration=TRANSIENT,
+                               keep_results=True)
+        coverage_map = build_static_coverage_map(campaign.embedded,
+                                                 points=campaign.points)
+        return summary, coverage_map
+
+    def test_real_campaign_has_zero_disagreements(self, campaign_run):
+        summary, coverage_map = campaign_run
+        defects = differential_audit(summary.results, coverage_map)
+        assert defects == [], "\n".join(d.format() for d in defects)
+
+    def test_detected_point_reported_silent_is_defect(self, campaign_run):
+        summary, coverage_map = campaign_run
+        entry = next(e for e in coverage_map.entries
+                     if e.outcome == DETECTED)
+        template = summary.results[0]
+        fake = template.__class__(
+            spec=FaultSpec(target=entry.target, mask=entry.mask,
+                           index=entry.index, is_state=entry.is_state),
+            duration=TRANSIENT, inject_at=0, masked=False, detected=False,
+            checker=None, detail="")
+        defects = differential_audit([fake], coverage_map)
+        assert len(defects) == 1
+        assert "silently corrupted" in defects[0].reason
+
+    def test_impossible_checker_is_defect(self, campaign_run):
+        summary, coverage_map = campaign_run
+        # A blind double-bit operand flip "detected by parity" would
+        # contradict parity's even-weight blind spot.
+        entry = next(e for e in coverage_map.entries
+                     if e.outcome == BLIND and e.target == "ex.op_a")
+        template = summary.results[0]
+        fake = template.__class__(
+            spec=FaultSpec(target=entry.target, mask=entry.mask,
+                           index=entry.index, is_state=entry.is_state),
+            duration=TRANSIENT, inject_at=0, masked=False, detected=True,
+            checker=CHECKER_PARITY, detail="")
+        defects = differential_audit([fake], coverage_map)
+        assert len(defects) == 1
+        assert "cannot fire" in defects[0].reason
+
+    def test_masked_point_unmasked_is_defect(self, campaign_run):
+        summary, coverage_map = campaign_run
+        entry = next(e for e in coverage_map.entries
+                     if e.outcome == MASKED and e.target == "state.shs")
+        template = summary.results[0]
+        fake = template.__class__(
+            spec=FaultSpec(target=entry.target, mask=entry.mask,
+                           index=entry.index, is_state=entry.is_state),
+            duration=TRANSIENT, inject_at=0, masked=False, detected=False,
+            checker=None, detail="")
+        defects = differential_audit([fake], coverage_map)
+        assert len(defects) == 1
+        assert "architectural divergence" in defects[0].reason
+
+    def test_unclassified_spec_is_defect(self, campaign_run):
+        summary, coverage_map = campaign_run
+        template = summary.results[0]
+        fake = template.__class__(
+            spec=FaultSpec(target="ghost.signal", mask=1),
+            duration=TRANSIENT, inject_at=0, masked=True, detected=False,
+            checker=None, detail="")
+        defects = differential_audit([fake], coverage_map)
+        assert len(defects) == 1
+        assert defects[0].static_outcome == UNKNOWN
+
+    def test_disagreement_format(self):
+        defect = Disagreement("ex.op_a", 0x8, None, DETECTED,
+                              "unmasked_undetected", None, "why")
+        text = defect.format()
+        assert "ex.op_a" in text and "0x8" in text and "why" in text
+
+
+class TestMatrixCrossCheck:
+    def test_matrix_agrees_with_static_map(self):
+        from repro.eval.coverage_matrix import (
+            build_coverage_matrix, verify_against_static)
+        matrix = build_coverage_matrix(probes_per_signal=1)
+        assert verify_against_static(matrix) == []
+
+    def test_synthetic_bad_matrix_is_flagged(self):
+        from repro.eval.coverage_matrix import (
+            SignalCoverage, verify_against_static)
+        bad = SignalCoverage(signal="state.shs", component="shs_datapath")
+        bad.outcomes = {"parity": 1}  # statically impossible on SHS state
+        bad.injections = 1
+        assert verify_against_static({"state.shs": bad}) != []
+
+    def test_unknown_signal_is_flagged(self):
+        from repro.eval.coverage_matrix import (
+            SignalCoverage, verify_against_static)
+        ghost = SignalCoverage(signal="ghost.bus", component="alu")
+        ghost.outcomes = {"undetected": 1}
+        ghost.injections = 1
+        assert verify_against_static({"ghost.bus": ghost}) != []
+
+
+# ---------------------------------------------------------------------------
+# 5. Satellite: gate inventory vs area model consistency.
+# ---------------------------------------------------------------------------
+
+class TestInventoryConsistency:
+    def test_area_model_and_fault_population_share_components(self):
+        from repro.area.components import component_areas
+        assert set(component_areas()) == set(GATE_INVENTORY)
+
+    def test_baseline_argus_partition(self):
+        assert set(BASELINE_COMPONENTS) | set(ARGUS_COMPONENTS) == \
+            set(GATE_INVENTORY)
+        assert not set(BASELINE_COMPONENTS) & set(ARGUS_COMPONENTS)
+
+    def test_signal_rows_reference_inventory_components(self):
+        for row in signal_rows():
+            assert row.component in GATE_INVENTORY, row.target
+
+    def test_component_signal_shares_do_not_exceed_unity(self):
+        shares = {}
+        for row in signal_rows():
+            shares[row.component] = shares.get(row.component, 0.0) + row.share
+        for component, total in shares.items():
+            assert total <= 1.0 + 1e-9, (component, total)
+
+    def test_signal_rows_match_population(self):
+        # Every (target, index, bit) the rows describe appears as a
+        # single-bit point, and nothing else does.
+        expected = set()
+        for row in signal_rows():
+            indices = row.indices or (None,)
+            for index in indices:
+                for bit in range(row.bit_offset, row.bit_offset + row.width):
+                    expected.add((row.target, 1 << bit, index))
+        actual = {(p.spec.target, p.spec.mask, p.spec.index)
+                  for p in build_point_population(include_double_bits=False,
+                                                  include_inert=False)}
+        assert actual == expected
+
+
+# ---------------------------------------------------------------------------
+# 6. CLI.
+# ---------------------------------------------------------------------------
+
+class TestAuditCli:
+    def test_population_audit_clean(self, capsys):
+        assert cli_main(["audit"]) == 0
+        out = capsys.readouterr().out
+        assert "<population>" in out
+        assert "masked-by-construction" in out
+
+    def test_json_output_parses(self, capsys):
+        assert cli_main(["audit", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is True
+        target = data["targets"][0]
+        assert UNKNOWN not in target["outcomes"]
+        assert target["points"] == sum(target["outcomes"].values())
+        assert target["audit"]["errors"] == 0
+
+    def test_workload_audit(self, capsys):
+        assert cli_main(["audit", "--all-workloads", "--format",
+                         "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["targets"]) == 13
+
+    def test_source_file_audit(self, tmp_path, capsys):
+        source = tmp_path / "prog.s"
+        source.write_text(TestExerciseProfile.SOURCE_NO_MULDIV)
+        assert cli_main(["audit", str(source), "--classes"]) == 0
+        out = capsys.readouterr().out
+        assert "prog.s" in out
+
+    def test_missing_file_exits_2(self, capsys):
+        assert cli_main(["audit", "no-such-file.s"]) == 2
+        assert "FAILED" in capsys.readouterr().out
