@@ -29,6 +29,14 @@ Commands:
   the static coverage map (a disagreement is a defect).
 * ``report [--experiments N] [--workers N]`` - the full
   paper-vs-measured report.
+* ``serve [--port N] [--data-dir DIR] [--workers N]`` - the persistent
+  campaign job server (:mod:`repro.service`): submitted campaigns are
+  queued, deduplicated against a content-addressed result store,
+  journaled, and survive kills/restarts.
+* ``submit / jobs / fetch`` - HTTP clients for a running server:
+  submit a campaign spec, inspect job status, download results JSONL.
+* ``journal-compact PATH`` - rewrite an append-only campaign journal
+  dropping superseded/duplicate records and torn lines.
 
 Source files are embedded automatically where Argus metadata is needed.
 """
@@ -380,14 +388,25 @@ def cmd_campaign(args):
     from repro.eval.detectors import format_attribution
     from repro.faults.campaign import Campaign
     from repro.faults.model import PERMANENT, TRANSIENT
-    from repro.runner.telemetry import NullTelemetry, StderrTelemetry
+    from repro.runner.telemetry import (JsonlTelemetry, NullTelemetry,
+                                        StderrTelemetry, TeeTelemetry)
 
     durations = ((TRANSIENT, PERMANENT) if args.duration == "both"
                  else (args.duration,))
     campaign = Campaign(seed=args.seed,
                         use_checkpoints=not args.no_checkpoints,
                         checkpoint_interval=args.checkpoint_interval)
-    telemetry = NullTelemetry() if args.quiet else StderrTelemetry()
+    sinks = []
+    if not args.quiet:
+        sinks.append(StderrTelemetry())
+    if args.telemetry_jsonl:
+        sinks.append(JsonlTelemetry(args.telemetry_jsonl))
+    if not sinks:
+        telemetry = NullTelemetry()
+    elif len(sinks) == 1:
+        telemetry = sinks[0]
+    else:
+        telemetry = TeeTelemetry(*sinks)
     if args.audit:
         from repro.analysis.coverage import (
             build_static_coverage_map, differential_audit)
@@ -425,12 +444,174 @@ def cmd_campaign(args):
                 print("    " + defect.format())
             dump[duration]["audit_disagreements"] = [
                 defect.format() for defect in found]
+    telemetry.close()
     if args.json:
         with open(args.json, "w") as handle:
             json.dump({"seed": args.seed, "summaries": dump}, handle,
                       indent=2, sort_keys=True)
         print("wrote %s" % args.json)
     return 1 if defects else 0
+
+
+# -- campaign service --------------------------------------------------------
+
+def cmd_serve(args):
+    """Run the persistent campaign job server until SIGTERM/SIGINT."""
+    import asyncio
+    import os
+    import signal
+
+    from repro.service.scheduler import JobScheduler
+    from repro.service.server import ServiceServer
+    from repro.service.store import open_store
+
+    data_dir = os.path.abspath(args.data_dir)
+    os.makedirs(data_dir, exist_ok=True)
+    store = open_store(args.store or os.path.join(data_dir, "store.sqlite"))
+    scheduler = JobScheduler(store, data_dir, workers=args.workers,
+                             job_runners=args.job_runners,
+                             batch_size=args.batch_size,
+                             retries=args.retries)
+    recovered = scheduler.recover()
+    scheduler.start()
+    server = ServiceServer(scheduler, host=args.host, port=args.port)
+
+    async def _serve():
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, ValueError):
+                pass  # platform without signal support in the loop
+        host, port = await server.start_async()
+        print("argus-repro service listening on http://%s:%d (data: %s)"
+              % (host, port, data_dir), flush=True)
+        if recovered:
+            print("re-enqueued %d unfinished job(s): %s"
+                  % (len(recovered),
+                     " ".join(job.job_id for job in recovered)), flush=True)
+        await stop.wait()
+        print("drain: finishing the current batch, queued jobs resume "
+              "on restart ...", flush=True)
+
+    asyncio.run(_serve())
+    scheduler.drain()
+    scheduler.shutdown(wait=True, timeout=args.drain_timeout)
+    store.close()
+    print("drained; state persisted under %s" % data_dir)
+    return 0
+
+
+def _service_client(args):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(args.url)
+
+
+def _print_job(job):
+    done = job["total"] or "?"
+    print("%s  %-8s %5s/%-5s  cached=%s executed=%s"
+          % (job["id"], job["state"], job["completed"], done,
+             job["cached"], job["executed"]))
+    for duration, summary in sorted(job.get("summaries", {}).items()):
+        fractions = summary["fractions"]
+        print("  [%s] %d experiments | silent %.2f%% | detected %.2f%% | "
+              "masked %.2f%% | DME %.2f%%" % (
+                  duration, summary["experiments"],
+                  100 * fractions["unmasked_undetected"],
+                  100 * fractions["unmasked_detected"],
+                  100 * fractions["masked_undetected"],
+                  100 * fractions["masked_detected"]))
+    if job.get("error"):
+        print("  error: %s" % job["error"])
+
+
+def cmd_submit(args):
+    from repro.service.client import ServiceError
+
+    spec = {"experiments": args.experiments, "duration": args.duration,
+            "seed": args.seed, "priority": args.priority}
+    if args.source:
+        spec["source"] = _read_source(args.source)
+        spec["workload"] = None
+    else:
+        spec["workload"] = args.workload
+    if args.no_checkpoints:
+        spec["use_checkpoints"] = False
+    client = _service_client(args)
+    try:
+        job = client.submit(spec)
+    except ServiceError as exc:
+        print("submit failed: %s" % exc, file=sys.stderr)
+        return 2
+    print("submitted %s (%s)" % (job["id"], job["state"]))
+    if not args.wait:
+        return 0
+    job = client.wait(job["id"], timeout=args.timeout)
+    _print_job(job)
+    return 0 if job["state"] == "done" else 1
+
+
+def cmd_jobs(args):
+    import json
+
+    from repro.service.client import ServiceError
+
+    client = _service_client(args)
+    try:
+        if args.job_id:
+            job = client.job(args.job_id)
+            if args.format == "json":
+                print(json.dumps(job, indent=2, sort_keys=True))
+            else:
+                _print_job(job)
+            return 0
+        jobs = client.jobs()
+    except ServiceError as exc:
+        print("jobs failed: %s" % exc, file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps({"jobs": jobs}, indent=2, sort_keys=True))
+        return 0
+    if not jobs:
+        print("no jobs")
+        return 0
+    for job in jobs:
+        _print_job(job)
+    return 0
+
+
+def cmd_fetch(args):
+    import json
+
+    from repro.service.client import ServiceError
+
+    client = _service_client(args)
+    try:
+        lines = client.results_lines(args.job_id)
+    except ServiceError as exc:
+        print("fetch failed: %s" % exc, file=sys.stderr)
+        return 2
+    text = "".join(json.dumps(line, sort_keys=True) + "\n" for line in lines)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print("wrote %d journal line(s) to %s" % (len(lines), args.output))
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_journal_compact(args):
+    from repro.runner.journal import Journal
+
+    journal = Journal(args.path)
+    stats = journal.compact()
+    print("%s: %d result(s), dropped %d superseded/duplicate and %d torn "
+          "line(s)" % (args.path, stats["results"],
+                       stats["duplicates_dropped"], stats["torn_dropped"]))
+    return 0
 
 
 def build_parser():
@@ -549,6 +730,9 @@ def build_parser():
     p.add_argument("--checkpoint-interval", type=int, default=None,
                    help="dynamic instructions between golden-run "
                         "snapshots (default: auto)")
+    p.add_argument("--telemetry-jsonl",
+                   help="also append every telemetry event as a JSON "
+                        "line to this file")
     p.add_argument("--json", help="write a machine-readable summary here")
     p.add_argument("--audit", action="store_true",
                    help="cross-check every result against the static "
@@ -556,6 +740,71 @@ def build_parser():
     p.add_argument("--quiet", action="store_true",
                    help="suppress live progress telemetry on stderr")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the persistent campaign job server (repro.service)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8471,
+                   help="TCP port (0 = pick a free one; the bound "
+                        "address is published in <data-dir>/server.json)")
+    p.add_argument("--data-dir", default="argus-service",
+                   help="job metadata, journals, events and the result "
+                        "store live here (survives restarts)")
+    p.add_argument("--store", default=None,
+                   help="SQLite result-store path "
+                        "(default: <data-dir>/store.sqlite)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="campaign worker processes per job "
+                        "(0 = one per available CPU, 1 = in-process)")
+    p.add_argument("--job-runners", type=int, default=1,
+                   help="jobs executing concurrently")
+    p.add_argument("--batch-size", type=int, default=None,
+                   help="experiments per worker batch (default: auto)")
+    p.add_argument("--retries", type=int, default=3,
+                   help="per-batch retries (exponential backoff)")
+    p.add_argument("--drain-timeout", type=float, default=None,
+                   help="seconds to wait for the current batch on drain")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit", help="submit a campaign to a running server")
+    p.add_argument("--url", default="http://127.0.0.1:8471")
+    p.add_argument("--workload", default="stress",
+                   help="bundled workload name (default: the stress test)")
+    p.add_argument("--source", default=None,
+                   help="submit this assembly file instead of a workload")
+    p.add_argument("--experiments", type=int, default=400)
+    p.add_argument("--duration", default="both",
+                   choices=("transient", "permanent", "both"))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--priority", type=int, default=0,
+                   help="higher runs first")
+    p.add_argument("--no-checkpoints", action="store_true")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job finishes and print its summary")
+    p.add_argument("--timeout", type=float, default=3600.0,
+                   help="--wait timeout in seconds")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("jobs", help="list jobs (or show one) on a server")
+    p.add_argument("job_id", nargs="?", help="job id (default: list all)")
+    p.add_argument("--url", default="http://127.0.0.1:8471")
+    p.add_argument("--format", default="text", choices=("text", "json"))
+    p.set_defaults(func=cmd_jobs)
+
+    p = sub.add_parser("fetch", help="download a job's results JSONL")
+    p.add_argument("job_id")
+    p.add_argument("--url", default="http://127.0.0.1:8471")
+    p.add_argument("-o", "--output", default=None,
+                   help="write here instead of stdout")
+    p.set_defaults(func=cmd_fetch)
+
+    p = sub.add_parser(
+        "journal-compact",
+        help="rewrite a campaign journal dropping superseded/duplicate "
+             "records and torn lines")
+    p.add_argument("path")
+    p.set_defaults(func=cmd_journal_compact)
 
     return parser
 

@@ -28,9 +28,11 @@ from repro.runner.journal import (Journal, JournalError, JournalMismatch,
 from repro.runner.plan import (CampaignPlan, PlannedExperiment, derive_seed,
                                plan_campaign)
 from repro.runner.pool import aggregate_records, default_workers, execute_plan
-from repro.runner.telemetry import (CallbackTelemetry, LegacyPrintTelemetry,
-                                    NullTelemetry, StderrTelemetry,
-                                    TelemetryEvent, TelemetrySink, coerce_sink)
+from repro.runner.telemetry import (CallbackTelemetry, JsonlTelemetry,
+                                    LegacyPrintTelemetry, NullTelemetry,
+                                    StderrTelemetry, TeeTelemetry,
+                                    TelemetryEvent, TelemetrySink, coerce_sink,
+                                    event_to_dict)
 
 __all__ = [
     "CampaignPlan",
@@ -50,6 +52,9 @@ __all__ = [
     "NullTelemetry",
     "StderrTelemetry",
     "CallbackTelemetry",
+    "JsonlTelemetry",
+    "TeeTelemetry",
     "LegacyPrintTelemetry",
     "coerce_sink",
+    "event_to_dict",
 ]

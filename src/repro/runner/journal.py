@@ -152,6 +152,65 @@ class Journal:
                       "result": record})
         self.records[experiment_id] = record
 
+    # -- compaction ----------------------------------------------------------
+    def compact(self):
+        """Rewrite the journal dropping superseded and torn records.
+
+        Resume paths can legally append an experiment id twice (a crash
+        between the result write and the process exit re-runs the
+        in-flight experiment on restart) and a kill can tear the final
+        line.  ``load()`` already keeps last-wins, so duplicates only
+        waste disk and re-parse time - compaction rewrites the file so
+        its contents match what ``load()`` would index: one header, one
+        plan record per duration, and each experiment id exactly once
+        (its *last* record, in first-appearance order).  The rewrite is
+        atomic (temp file + ``os.replace``); an empty or missing journal
+        is a no-op.  Returns a stats dict (lines kept/dropped).
+        """
+        self.close()
+        stats = {"results": 0, "duplicates_dropped": 0, "torn_dropped": 0}
+        if not os.path.exists(self.path):
+            return stats
+        header = None
+        plans = []  # (duration, entry) in first-seen order
+        plan_seen = set()
+        order = []  # experiment ids in first-appearance order
+        last = {}  # experiment id -> last result entry
+        with open(self.path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    stats["torn_dropped"] += 1
+                    continue
+                kind = entry.get("kind")
+                if kind == "header":
+                    header = header or entry
+                elif kind == "plan":
+                    if entry["duration"] not in plan_seen:
+                        plan_seen.add(entry["duration"])
+                        plans.append(entry)
+                elif kind == "result":
+                    if entry["id"] in last:
+                        stats["duplicates_dropped"] += 1
+                    else:
+                        order.append(entry["id"])
+                    last[entry["id"]] = entry
+        tmp_path = self.path + ".compact"
+        with open(tmp_path, "w") as handle:
+            for entry in ([header] if header else []) + plans:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            for experiment_id in order:
+                handle.write(json.dumps(last[experiment_id],
+                                        sort_keys=True) + "\n")
+        os.replace(tmp_path, self.path)
+        stats["results"] = len(order)
+        self.load()
+        return stats
+
     def close(self):
         if self._handle is not None:
             self._handle.close()

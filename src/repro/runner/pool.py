@@ -74,8 +74,27 @@ def _run_batch(batch):
 # -- engine ----------------------------------------------------------------
 
 def default_workers():
-    """Worker count for ``workers=0`` ("auto"): one per CPU."""
-    return os.cpu_count() or 1
+    """Worker count for ``workers=0`` ("auto").
+
+    ``ARGUS_REPRO_WORKERS`` (a positive integer) wins outright - the
+    operator's word in containers and CI.  Otherwise the process's CPU
+    *affinity* set is used where the platform exposes it
+    (``os.sched_getaffinity``), because container/cgroup CPU limits
+    shrink the affinity mask while ``os.cpu_count()`` keeps reporting
+    every core on the host; the bare count is the last resort.
+    """
+    env = os.environ.get("ARGUS_REPRO_WORKERS")
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            value = 0
+        if value >= 1:
+            return value
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # platform without affinity support
+        return os.cpu_count() or 1
 
 
 def _make_batches(pending, workers, batch_size):

@@ -10,12 +10,18 @@ and one at completion.  Sinks decide what to do with them:
   a callable (dashboards, tests, schedulers);
 * :class:`LegacyPrintTelemetry` - byte-compatible with the old
   ``Campaign.run(progress=N)`` stdout lines;
+* :class:`JsonlTelemetry` - appends every event as one JSON line to a
+  file (the campaign service streams these back over
+  ``GET /jobs/<id>/events``; the CLI exposes it as
+  ``campaign --telemetry-jsonl PATH``);
+* :class:`TeeTelemetry` - fans every event out to several sinks;
 * :class:`NullTelemetry` - discard.
 
 ``coerce_sink`` adapts what callers pass (a sink, a bare callable, the
 deprecated ``progress=N`` integer, or nothing) into a sink instance.
 """
 
+import json
 import sys
 import time
 import warnings
@@ -61,6 +67,24 @@ class TelemetryEvent:
         return (self.total - self.completed) / rate
 
 
+def event_to_dict(event):
+    """JSON-ready dict of a TelemetryEvent (derived fields included)."""
+    eta = event.eta_seconds
+    return {
+        "kind": event.kind,
+        "duration": event.duration,
+        "completed": event.completed,
+        "total": event.total,
+        "elapsed": round(event.elapsed, 6),
+        "skipped": event.skipped,
+        "quadrant": event.quadrant,
+        "checker": event.checker,
+        "checker_counts": dict(event.checker_counts),
+        "throughput": round(event.throughput, 6),
+        "eta_seconds": None if eta is None else round(eta, 6),
+    }
+
+
 class TelemetrySink:
     """Receives TelemetryEvents; subclasses override :meth:`event`."""
 
@@ -100,6 +124,49 @@ class LegacyPrintTelemetry(TelemetrySink):
             print("  [%s] %d/%d experiments"
                   % (event.duration, event.completed, event.total),
                   file=self.stream)
+
+
+class JsonlTelemetry(TelemetrySink):
+    """Appends every event as one JSON line, flushed immediately.
+
+    Accepts a path (the handle is owned and closed by :meth:`close`) or
+    an open file-like object (left open for the caller).  Each line is a
+    self-contained :func:`event_to_dict` object, so a tailing reader -
+    the service's ``/jobs/<id>/events`` endpoint, a dashboard, ``tail
+    -f`` - needs no state to interpret it.
+    """
+
+    def __init__(self, path_or_handle):
+        if hasattr(path_or_handle, "write"):
+            self.handle = path_or_handle
+            self._owned = False
+        else:
+            self.handle = open(path_or_handle, "a")
+            self._owned = True
+
+    def event(self, event):
+        self.handle.write(json.dumps(event_to_dict(event),
+                                     sort_keys=True) + "\n")
+        self.handle.flush()
+
+    def close(self):
+        if self._owned:
+            self.handle.close()
+
+
+class TeeTelemetry(TelemetrySink):
+    """Fans every event out to several sinks (e.g. stderr + JSONL)."""
+
+    def __init__(self, *sinks):
+        self.sinks = list(sinks)
+
+    def event(self, event):
+        for sink in self.sinks:
+            sink.event(event)
+
+    def close(self):
+        for sink in self.sinks:
+            sink.close()
 
 
 class StderrTelemetry(TelemetrySink):

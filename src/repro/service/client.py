@@ -1,0 +1,143 @@
+"""Stdlib HTTP client for the campaign service.
+
+Wraps :mod:`http.client` (no third-party deps) with the five verbs the
+service speaks: submit a campaign, poll a job, stream its telemetry
+events, download its results, and read server health/metrics.  Used by
+the ``argus-repro submit / jobs / fetch`` subcommands, the tests, and
+the throughput benchmark; also a reasonable template for external
+callers.
+"""
+
+import http.client
+import json
+import time
+from urllib.parse import urlsplit
+
+DEFAULT_URL = "http://127.0.0.1:8471"
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response (or unreachable server)."""
+
+    def __init__(self, status, message):
+        super().__init__("HTTP %s: %s" % (status, message))
+        self.status = status
+
+
+class ServiceClient:
+    """A thin client bound to one server base URL."""
+
+    def __init__(self, url=DEFAULT_URL, timeout=30.0):
+        parts = urlsplit(url if "//" in url else "//" + url)
+        if parts.scheme not in ("", "http"):
+            raise ValueError("only http:// URLs are supported, got %r" % url)
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 8471
+        self.timeout = timeout
+
+    def _connect(self, timeout=None):
+        return http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.timeout if timeout is None else timeout)
+
+    def _request(self, method, path, payload=None):
+        conn = self._connect()
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read().decode("utf-8")
+            try:
+                parsed = json.loads(data) if data else None
+            except ValueError:
+                parsed = {"error": data.strip()}
+            if response.status >= 400:
+                message = (parsed or {}).get("error", data.strip())
+                raise ServiceError(response.status, message)
+            return parsed
+        finally:
+            conn.close()
+
+    # -- API verbs -----------------------------------------------------------
+    def healthz(self):
+        return self._request("GET", "/healthz")
+
+    def metrics(self):
+        return self._request("GET", "/metrics")
+
+    def submit(self, spec):
+        """Submit a campaign spec dict; returns the job document."""
+        return self._request("POST", "/jobs", payload=spec)
+
+    def jobs(self):
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id):
+        return self._request("GET", "/jobs/%s" % job_id)
+
+    def results(self, job_id):
+        """The job's journal records: ``{experiment_id: result record}``.
+
+        Last-wins on duplicate ids, mirroring
+        :meth:`repro.runner.journal.Journal.load`.
+        """
+        records = {}
+        for entry in self.results_lines(job_id):
+            if entry.get("kind") == "result":
+                records[entry["id"]] = entry["result"]
+        return records
+
+    def results_lines(self, job_id):
+        """Every parsed JSONL line of the results download (raw journal)."""
+        conn = self._connect()
+        try:
+            conn.request("GET", "/jobs/%s/results" % job_id)
+            response = conn.getresponse()
+            if response.status >= 400:
+                raise ServiceError(response.status,
+                                   response.read().decode("utf-8").strip())
+            lines = []
+            for raw in response.read().splitlines():
+                raw = raw.strip()
+                if raw:
+                    lines.append(json.loads(raw))
+            return lines
+        finally:
+            conn.close()
+
+    def events(self, job_id, timeout=None):
+        """Yield telemetry event dicts as the server streams them.
+
+        Blocks between events; ends when the server closes the stream
+        (the job reached a terminal state).
+        """
+        conn = self._connect(timeout=timeout)
+        try:
+            conn.request("GET", "/jobs/%s/events" % job_id)
+            response = conn.getresponse()
+            if response.status >= 400:
+                raise ServiceError(response.status,
+                                   response.read().decode("utf-8").strip())
+            for raw in response:
+                raw = raw.strip()
+                if raw:
+                    yield json.loads(raw)
+        finally:
+            conn.close()
+
+    def wait(self, job_id, timeout=120.0, poll=0.1):
+        """Poll until the job is terminal; returns its final document."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in ("done", "failed"):
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    "job %s still %s after %.0fs"
+                    % (job_id, job["state"], timeout))
+            time.sleep(poll)

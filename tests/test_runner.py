@@ -12,9 +12,11 @@ from repro.runner import (Journal, JournalMismatch, derive_seed,
                           plan_campaign, record_to_result, result_to_record)
 from repro.runner.telemetry import (EVENT_EXPERIMENT, EVENT_FINISH,
                                     EVENT_START, CallbackTelemetry,
-                                    LegacyPrintTelemetry, NullTelemetry,
-                                    ProgressTracker, StderrTelemetry,
-                                    TelemetryEvent, coerce_sink)
+                                    JsonlTelemetry, LegacyPrintTelemetry,
+                                    NullTelemetry, ProgressTracker,
+                                    StderrTelemetry, TeeTelemetry,
+                                    TelemetryEvent, coerce_sink,
+                                    event_to_dict)
 
 
 @pytest.fixture(scope="module")
@@ -133,6 +135,91 @@ class TestJournal:
         assert kinds.count("plan") == 1
 
 
+class TestCompact:
+    def _journal_with_duplicates(self, plan, tmp_path):
+        """A journal the way a crashed-and-resumed campaign leaves it:
+        one id appended twice (differently) plus a torn final line."""
+        path = str(tmp_path / "j.jsonl")
+        journal = Journal(path).load()
+        journal.ensure_header({"seed": "5"})
+        journal.register_plan(plan)
+        journal.append_result(plan.ids[0], result_to_record(_result()))
+        journal.append_result(plan.ids[1],
+                              result_to_record(_result(detected=False)))
+        # the resumed run re-ran ids[0] and journaled it again
+        journal.append_result(plan.ids[0],
+                              result_to_record(_result(checker="dcs")))
+        journal.close()
+        with open(path, "a") as handle:
+            handle.write('{"kind": "result", "id": "transient/00')  # kill!
+        return path
+
+    def test_compact_drops_duplicates_and_torn_lines(self, plan, tmp_path):
+        path = self._journal_with_duplicates(plan, tmp_path)
+        before = Journal(path).load()
+        journal = Journal(path)
+        stats = journal.compact()
+        assert stats == {"results": 2, "duplicates_dropped": 1,
+                         "torn_dropped": 1}
+        # the compacted file indexes identically (last-wins preserved) ...
+        assert journal.records == before.records
+        assert journal.records[plan.ids[0]]["checker"] == "dcs"
+        assert journal.meta["seed"] == "5"
+        assert journal.plans == before.plans
+        # ... and now the file *is* its index: one line per record
+        with open(path) as handle:
+            entries = [json.loads(line) for line in handle]
+        assert [e["kind"] for e in entries] \
+            == ["header", "plan", "result", "result"]
+        assert [e["id"] for e in entries if e["kind"] == "result"] \
+            == [plan.ids[0], plan.ids[1]]
+
+    def test_compact_is_idempotent_and_appendable(self, plan, tmp_path):
+        path = self._journal_with_duplicates(plan, tmp_path)
+        journal = Journal(path)
+        journal.compact()
+        with open(path) as handle:
+            first = handle.read()
+        assert journal.compact()["duplicates_dropped"] == 0
+        with open(path) as handle:
+            assert handle.read() == first
+        # appending after compaction still works (handle was closed)
+        journal.append_result(plan.ids[2], result_to_record(_result()))
+        journal.close()
+        assert len(Journal(path).load().records) == 3
+
+    def test_compact_missing_file_is_noop(self, tmp_path):
+        stats = Journal(str(tmp_path / "absent.jsonl")).compact()
+        assert stats["results"] == 0
+        assert not (tmp_path / "absent.jsonl").exists()
+
+
+class TestDefaultWorkers:
+    def test_env_override_wins(self, monkeypatch):
+        from repro.runner.pool import default_workers
+
+        monkeypatch.setenv("ARGUS_REPRO_WORKERS", "3")
+        assert default_workers() == 3
+
+    def test_bad_env_values_fall_through(self, monkeypatch):
+        from repro.runner.pool import default_workers
+
+        for bogus in ("zero", "0", "-2", ""):
+            monkeypatch.setenv("ARGUS_REPRO_WORKERS", bogus)
+            assert default_workers() >= 1
+
+    def test_respects_cpu_affinity_when_available(self, monkeypatch):
+        import repro.runner.pool as pool_mod
+
+        monkeypatch.delenv("ARGUS_REPRO_WORKERS", raising=False)
+        if hasattr(pool_mod.os, "sched_getaffinity"):
+            monkeypatch.setattr(pool_mod.os, "sched_getaffinity",
+                                lambda pid: {0, 1}, raising=True)
+            assert pool_mod.default_workers() == 2
+        else:  # platform fallback: the bare CPU count
+            assert pool_mod.default_workers() == (pool_mod.os.cpu_count() or 1)
+
+
 class TestTelemetry:
     def _track(self, sink, total=4, detections=2):
         tracker = ProgressTracker(sink, TRANSIENT, total)
@@ -191,6 +278,54 @@ class TestTelemetry:
             sink = coerce_sink(progress=5)
         assert isinstance(sink, LegacyPrintTelemetry)
         assert sink.every == 5
+
+    def test_jsonl_sink_writes_self_contained_lines(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        sink = JsonlTelemetry(path)
+        self._track(sink)
+        sink.close()
+        with open(path) as handle:
+            events = [json.loads(line) for line in handle]
+        assert [e["kind"] for e in events] \
+            == ["start"] + ["experiment"] * 4 + ["finish"]
+        assert events[-1]["completed"] == 4
+        assert events[-1]["checker_counts"] == {"parity": 2}
+        assert events[2]["quadrant"] in (
+            "masked_detected", "masked_undetected",
+            "unmasked_detected", "unmasked_undetected")
+        # appending a second campaign extends, never truncates
+        sink = JsonlTelemetry(path)
+        self._track(sink)
+        sink.close()
+        with open(path) as handle:
+            assert sum(1 for _line in handle) == 12
+
+    def test_jsonl_sink_borrows_open_handles(self):
+        stream = io.StringIO()
+        sink = JsonlTelemetry(stream)
+        self._track(sink)
+        sink.close()  # not owned: stays open
+        events = [json.loads(line)
+                  for line in stream.getvalue().splitlines()]
+        assert len(events) == 6
+
+    def test_event_to_dict_is_json_ready(self):
+        event = TelemetryEvent(kind=EVENT_EXPERIMENT, duration=TRANSIENT,
+                               completed=30, total=40, elapsed=2.0,
+                               skipped=10, quadrant="unmasked_detected",
+                               checker="parity",
+                               checker_counts={"parity": 3})
+        payload = json.loads(json.dumps(event_to_dict(event)))
+        assert payload["throughput"] == pytest.approx(10.0)
+        assert payload["eta_seconds"] == pytest.approx(1.0)
+        assert payload["checker"] == "parity"
+
+    def test_tee_fans_out_to_every_sink(self):
+        first, second = [], []
+        self._track(TeeTelemetry(CallbackTelemetry(first.append),
+                                 CallbackTelemetry(second.append)))
+        assert len(first) == len(second) == 6
+        assert [e.kind for e in first] == [e.kind for e in second]
 
 
 class TestStreamingSummary:
