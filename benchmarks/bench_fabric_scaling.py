@@ -1,0 +1,177 @@
+"""Fabric scaling: one campaign sharded over 1, 2 and 3 service nodes.
+
+For each fleet size N the bench boots N fresh in-process service nodes
+(each a real content-addressed store + scheduler + asyncio HTTP server
+on its own localhost socket), runs the *same* campaign through the
+fabric coordinator (sliced batches, load-aware dispatch, work
+stealing armed), and measures end-to-end wall-clock from submit to the
+aggregated summary.  Fresh stores and a fresh coordinator journal per
+fleet size mean every experiment is simulated exactly once per run -
+this is pure scaling, not cache effects.
+
+The bench also *asserts* the fabric's core guarantee: the aggregate
+summary of every fleet size is bit-identical to a direct single-node
+``Campaign.run`` of the same spec.  Federation may only change how
+fast the answer arrives, never the answer.
+
+There is deliberately no timing gate (CI machines are too noisy for
+wall-clock assertions): CI runs a small version, enforces the
+equalities, and uploads the record; the committed
+``BENCH_fabric_scaling.json`` (regenerate with
+``python benchmarks/bench_fabric_scaling.py``) documents the numbers
+on a quiet machine.
+
+A caveat the numbers must be read with: all N nodes share this
+benchmark's Python process (and, in CI, typically one CPU core), so
+the committed record documents *constant answers and federation
+overhead*, not parallel speedup - the per-batch cost of re-planning
+plus HTTP dispatch shows up directly.  On a real fleet (one host per
+node) the same coordinator scales with node count; set
+``ARGUS_FABRIC_WORKERS`` > 1 to give each node a process pool when
+measuring on a multi-core box.
+
+Size via ``ARGUS_FABRIC_EXPERIMENTS`` (default 150); per-node campaign
+workers via ``ARGUS_FABRIC_WORKERS`` (default 1 = in-process); output
+path via ``ARGUS_FABRIC_RECORD``.
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from repro.fabric import Topology, run_fabric_campaign
+from repro.faults.campaign import Campaign
+from repro.faults.model import TRANSIENT
+from repro.service import (CampaignSpec, JobScheduler, ResultStore,
+                           ServiceServer)
+
+EXPERIMENTS = int(os.environ.get("ARGUS_FABRIC_EXPERIMENTS", "150"))
+WORKERS = int(os.environ.get("ARGUS_FABRIC_WORKERS", "1"))
+SEED = 2007
+FLEET_SIZES = (1, 2, 3)
+RECORD_PATH = os.environ.get(
+    "ARGUS_FABRIC_RECORD",
+    os.path.join(os.path.dirname(__file__), "BENCH_fabric_scaling.json"))
+
+SPEC = {"experiments": EXPERIMENTS, "duration": "transient", "seed": SEED}
+
+
+class Fleet:
+    """N in-process service nodes over temp data dirs, wired for teardown."""
+
+    def __init__(self, n):
+        self.root = tempfile.mkdtemp(prefix="argus-bench-fabric-")
+        self.nodes = []
+        self.urls = []
+        for index in range(n):
+            data_dir = os.path.join(self.root, "node%d" % index)
+            os.makedirs(data_dir)
+            store = ResultStore(os.path.join(data_dir, "store.sqlite"))
+            scheduler = JobScheduler(store, data_dir, workers=WORKERS)
+            scheduler.start()
+            server = ServiceServer(scheduler, port=0)
+            host, port = server.start_in_thread()
+            self.urls.append("http://%s:%d" % (host, port))
+            self.nodes.append((server, scheduler, store))
+
+    def close(self):
+        for server, scheduler, store in self.nodes:
+            server.stop()
+            scheduler.shutdown(wait=False)
+            store.close()
+        shutil.rmtree(self.root, ignore_errors=True)
+
+
+def _fractions(summary):
+    return summary.fractions()
+
+
+def run_measurement():
+    """Returns the scaling record; asserts cross-fleet determinism."""
+    runs = {}
+    for n in FLEET_SIZES:
+        fleet = Fleet(n)
+        try:
+            journal = os.path.join(fleet.root, "coordinator.jsonl")
+            start = time.perf_counter()
+            summaries, coordinator = run_fabric_campaign(
+                dict(SPEC), Topology.from_urls(fleet.urls,
+                                               probe_interval=0.2),
+                journal, poll=0.02, steal_after=30.0)
+            elapsed = time.perf_counter() - start
+            status = coordinator.status()
+            assert status["completed_experiments"] == EXPERIMENTS
+            runs[n] = {"seconds": elapsed,
+                       "summary": summaries["transient"],
+                       "batches": status["batches"],
+                       "dispatched": status["dispatched"],
+                       "stolen": status["stolen"]}
+        finally:
+            fleet.close()
+
+    # Determinism: every fleet size computed the same answer ...
+    base = runs[FLEET_SIZES[0]]["summary"]
+    for n in FLEET_SIZES[1:]:
+        summary = runs[n]["summary"]
+        assert _fractions(summary) == _fractions(base), n
+        assert summary.checker_counts == base.checker_counts, n
+    # ... and it is the single-node Campaign.run answer, bit for bit.
+    spec = CampaignSpec.from_dict(SPEC)
+    direct = spec.build_campaign().run(
+        experiments=EXPERIMENTS, duration=TRANSIENT, workers=1)
+    assert _fractions(base) == direct.fractions()
+    assert base.checker_counts == dict(direct.checker_counts)
+
+    one_node = runs[FLEET_SIZES[0]]["seconds"]
+    record = {
+        "experiments": EXPERIMENTS,
+        "seed": SEED,
+        "fleets": {
+            str(n): {
+                "seconds": round(runs[n]["seconds"], 3),
+                "experiments_per_second":
+                    round(EXPERIMENTS / runs[n]["seconds"], 2),
+                "speedup_vs_1_node":
+                    round(one_node / runs[n]["seconds"], 3),
+                "batches": runs[n]["batches"],
+                "dispatched": runs[n]["dispatched"],
+                "stolen": runs[n]["stolen"],
+            } for n in FLEET_SIZES
+        },
+        "deterministic": True,
+        "fractions": _fractions(base),
+    }
+    return record
+
+
+def test_fabric_scaling(benchmark):
+    out = {}
+
+    def measure():
+        out["record"] = run_measurement()
+        return out
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    record = out["record"]
+    assert record["deterministic"]
+    benchmark.extra_info.update(
+        {"experiments": record["experiments"],
+         **{"fleet_%s_seconds" % n: record["fleets"][n]["seconds"]
+            for n in record["fleets"]}})
+    print("\n  " + json.dumps(record, sort_keys=True))
+
+
+def main():
+    record = run_measurement()
+    with open(RECORD_PATH, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(record, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()
+
+

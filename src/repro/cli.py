@@ -35,6 +35,12 @@ Commands:
   journaled, and survive kills/restarts.
 * ``submit / jobs / fetch`` - HTTP clients for a running server:
   submit a campaign spec, inspect job status, download results JSONL.
+* ``fabric serve/submit/status`` - the federated campaign fabric
+  (:mod:`repro.fabric`): ``fabric serve`` runs a job server as a fleet
+  member (peer topology file, health probing, merged peer cache);
+  ``fabric submit`` shards a campaign across the fleet with
+  work-stealing and exactly-once accounting; ``fabric status`` probes
+  every peer.
 * ``journal-compact PATH`` - rewrite an append-only campaign journal
   dropping superseded/duplicate records and torn lines.
 
@@ -456,7 +462,12 @@ def cmd_campaign(args):
 # -- campaign service --------------------------------------------------------
 
 def cmd_serve(args):
-    """Run the persistent campaign job server until SIGTERM/SIGINT."""
+    """Run the persistent campaign job server until SIGTERM/SIGINT.
+
+    With ``--topology`` (the ``fabric serve`` form) the node joins a
+    fleet: it probes its peers, serves ``/peers``, and answers cache
+    misses from the merged peer store before simulating anything.
+    """
     import asyncio
     import os
     import signal
@@ -465,16 +476,25 @@ def cmd_serve(args):
     from repro.service.server import ServiceServer
     from repro.service.store import open_store
 
+    topology = None
+    if getattr(args, "topology", None):
+        from repro.fabric import PeerStore, Topology
+        topology = Topology.load(args.topology,
+                                 probe_interval=args.probe_interval)
+
     data_dir = os.path.abspath(args.data_dir)
     os.makedirs(data_dir, exist_ok=True)
     store = open_store(args.store or os.path.join(data_dir, "store.sqlite"))
     scheduler = JobScheduler(store, data_dir, workers=args.workers,
                              job_runners=args.job_runners,
                              batch_size=args.batch_size,
-                             retries=args.retries)
+                             retries=args.retries,
+                             remote_store=(None if topology is None
+                                           else PeerStore(topology)))
     recovered = scheduler.recover()
     scheduler.start()
-    server = ServiceServer(scheduler, host=args.host, port=args.port)
+    server = ServiceServer(scheduler, host=args.host, port=args.port,
+                           topology=topology)
 
     async def _serve():
         stop = asyncio.Event()
@@ -485,6 +505,11 @@ def cmd_serve(args):
             except (NotImplementedError, ValueError):
                 pass  # platform without signal support in the loop
         host, port = await server.start_async()
+        if topology is not None:
+            topology.set_self("http://%s:%d" % (host, port))
+            topology.start()
+            print("fabric member: %d peer(s) in %s"
+                  % (len(topology.peers), args.topology), flush=True)
         print("argus-repro service listening on http://%s:%d (data: %s)"
               % (host, port, data_dir), flush=True)
         if recovered:
@@ -496,6 +521,8 @@ def cmd_serve(args):
               "on restart ...", flush=True)
 
     asyncio.run(_serve())
+    if topology is not None:
+        topology.stop()
     scheduler.drain()
     scheduler.shutdown(wait=True, timeout=args.drain_timeout)
     store.close()
@@ -601,6 +628,96 @@ def cmd_fetch(args):
     else:
         sys.stdout.write(text)
     return 0
+
+
+# -- campaign fabric ---------------------------------------------------------
+
+def cmd_fabric_submit(args):
+    """Shard one campaign across the fleet named by the topology file."""
+    import json
+
+    from repro.eval.detectors import format_attribution
+    from repro.fabric import FabricCoordinator, FabricError, Topology
+
+    topology = Topology.load(args.topology)
+    spec = {"experiments": args.experiments, "duration": args.duration,
+            "seed": args.seed}
+    if args.source:
+        spec["source"] = _read_source(args.source)
+        spec["workload"] = None
+    else:
+        spec["workload"] = args.workload
+    if args.no_checkpoints:
+        spec["use_checkpoints"] = False
+    journal = args.journal or "fabric-seed%s.journal.jsonl" % args.seed
+    log = None if args.quiet else (
+        lambda message: print(message, file=sys.stderr, flush=True))
+    coordinator = FabricCoordinator(
+        spec, topology, journal,
+        batch_experiments=args.batch_experiments,
+        steal_after=args.steal_after, on_log=log)
+    try:
+        summaries = coordinator.run(timeout=args.timeout)
+    except FabricError as exc:
+        print("fabric submit failed: %s" % exc, file=sys.stderr)
+        return 2
+    dump = {}
+    for duration, summary in summaries.items():
+        fractions = summary.fractions()
+        print("[%s] %d experiments" % (duration, summary.total))
+        print("  silent %.2f%% | unmasked+detected %.2f%% | "
+              "masked+undetected %.2f%% | DME %.2f%%" % (
+                  100 * fractions["unmasked_undetected"],
+                  100 * fractions["unmasked_detected"],
+                  100 * fractions["masked_undetected"],
+                  100 * fractions["masked_detected"]))
+        print("  " + format_attribution(summary).replace("\n", "\n  "))
+        dump[duration] = {
+            "experiments": summary.total,
+            "fractions": fractions,
+            "checker_counts": summary.checker_counts,
+            "unmasked_coverage": summary.unmasked_coverage,
+            "masked_detection_rate": summary.masked_detection_rate,
+        }
+    status = coordinator.status()
+    print("fabric: %d batches | dispatched %d | stolen %d | reassigned %d"
+          % (status["batches"], status["dispatched"], status["stolen"],
+             status["reassigned"]))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump({"seed": args.seed, "summaries": dump,
+                       "fabric": status}, handle, indent=2, sort_keys=True)
+        print("wrote %s" % args.json)
+    return 0
+
+
+def cmd_fabric_status(args):
+    """Probe every peer in the topology and report the fleet's health."""
+    import json
+
+    from repro.fabric import Topology
+
+    topology = Topology.load(args.topology)
+    topology.probe_all()
+    payload = topology.to_dict()
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for peer in payload["peers"]:
+            load = peer["load"]
+            if peer["alive"]:
+                jobs = load.get("jobs") or {}
+                detail = "queue=%s running=%s done=%s store=%s" % (
+                    load.get("queue_depth"), jobs.get("running", 0),
+                    jobs.get("done", 0), load.get("store_rows"))
+            else:
+                detail = "last error: %s" % peer["last_error"]
+            print("%-16s %-28s %-5s %s"
+                  % (peer["name"], peer["url"],
+                     "up" if peer["alive"] else "DOWN", detail))
+    alive = sum(1 for peer in payload["peers"] if peer["alive"])
+    print("%d/%d peers alive" % (alive, len(payload["peers"])))
+    return 0 if alive else 1
 
 
 def cmd_journal_compact(args):
@@ -741,30 +858,33 @@ def build_parser():
                    help="suppress live progress telemetry on stderr")
     p.set_defaults(func=cmd_campaign)
 
+    def _serve_args(p):
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=8471,
+                       help="TCP port (0 = pick a free one; the bound "
+                            "address is published in <data-dir>/server.json)")
+        p.add_argument("--data-dir", default="argus-service",
+                       help="job metadata, journals, events and the result "
+                            "store live here (survives restarts)")
+        p.add_argument("--store", default=None,
+                       help="SQLite result-store path "
+                            "(default: <data-dir>/store.sqlite)")
+        p.add_argument("--workers", type=int, default=1,
+                       help="campaign worker processes per job "
+                            "(0 = one per available CPU, 1 = in-process)")
+        p.add_argument("--job-runners", type=int, default=1,
+                       help="jobs executing concurrently")
+        p.add_argument("--batch-size", type=int, default=None,
+                       help="experiments per worker batch (default: auto)")
+        p.add_argument("--retries", type=int, default=3,
+                       help="per-batch retries (exponential backoff)")
+        p.add_argument("--drain-timeout", type=float, default=None,
+                       help="seconds to wait for the current batch on drain")
+
     p = sub.add_parser(
         "serve",
         help="run the persistent campaign job server (repro.service)")
-    p.add_argument("--host", default="127.0.0.1")
-    p.add_argument("--port", type=int, default=8471,
-                   help="TCP port (0 = pick a free one; the bound "
-                        "address is published in <data-dir>/server.json)")
-    p.add_argument("--data-dir", default="argus-service",
-                   help="job metadata, journals, events and the result "
-                        "store live here (survives restarts)")
-    p.add_argument("--store", default=None,
-                   help="SQLite result-store path "
-                        "(default: <data-dir>/store.sqlite)")
-    p.add_argument("--workers", type=int, default=1,
-                   help="campaign worker processes per job "
-                        "(0 = one per available CPU, 1 = in-process)")
-    p.add_argument("--job-runners", type=int, default=1,
-                   help="jobs executing concurrently")
-    p.add_argument("--batch-size", type=int, default=None,
-                   help="experiments per worker batch (default: auto)")
-    p.add_argument("--retries", type=int, default=3,
-                   help="per-batch retries (exponential backoff)")
-    p.add_argument("--drain-timeout", type=float, default=None,
-                   help="seconds to wait for the current batch on drain")
+    _serve_args(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("submit", help="submit a campaign to a running server")
@@ -798,6 +918,59 @@ def build_parser():
     p.add_argument("-o", "--output", default=None,
                    help="write here instead of stdout")
     p.set_defaults(func=cmd_fetch)
+
+    p = sub.add_parser(
+        "fabric",
+        help="federate job-service nodes into one campaign fleet")
+    fabric = p.add_subparsers(dest="fabric_command", required=True)
+
+    p = fabric.add_parser(
+        "serve",
+        help="run one fleet node (a job server that probes its peers "
+             "and answers cache misses from the merged peer store)")
+    _serve_args(p)
+    p.add_argument("--topology", required=True,
+                   help='JSON peer list: {"peers": [{"name", "url"}, ...]}')
+    p.add_argument("--probe-interval", type=float, default=1.0,
+                   help="seconds between background peer health probes")
+    p.set_defaults(func=cmd_serve)
+
+    p = fabric.add_parser(
+        "submit",
+        help="shard one campaign across the fleet and aggregate the "
+             "(bit-identical) summary")
+    p.add_argument("--topology", required=True,
+                   help="JSON peer list naming every fleet node")
+    p.add_argument("--workload", default="stress",
+                   help="bundled workload name (default: the stress test)")
+    p.add_argument("--source", default=None,
+                   help="submit this assembly file instead of a workload")
+    p.add_argument("--experiments", type=int, default=400)
+    p.add_argument("--duration", default="both",
+                   choices=("transient", "permanent", "both"))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-checkpoints", action="store_true")
+    p.add_argument("--journal", default=None,
+                   help="coordinator journal (crash-safe exactly-once "
+                        "accounting; reuse the same path to resume; "
+                        "default: fabric-seed<seed>.journal.jsonl)")
+    p.add_argument("--batch-experiments", type=int, default=None,
+                   help="experiments per dispatched batch (default: auto)")
+    p.add_argument("--steal-after", type=float, default=30.0,
+                   help="seconds before a running batch is duplicated "
+                        "onto an idle peer (work stealing)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="overall campaign deadline in seconds")
+    p.add_argument("--json", help="write a machine-readable summary here")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress dispatch/steal progress on stderr")
+    p.set_defaults(func=cmd_fabric_submit)
+
+    p = fabric.add_parser(
+        "status", help="probe every peer and report the fleet's health")
+    p.add_argument("--topology", required=True)
+    p.add_argument("--format", default="text", choices=("text", "json"))
+    p.set_defaults(func=cmd_fabric_status)
 
     p = sub.add_parser(
         "journal-compact",

@@ -1,0 +1,36 @@
+"""Federated campaign fabric: N job-service nodes, one fleet.
+
+PR 5's :mod:`repro.service` put one scheduler over one process pool on
+one box; this package federates any number of those nodes into a
+single logical campaign engine:
+
+* :mod:`repro.fabric.topology` - the membership layer: a static JSON
+  peer list, a background ``/metrics`` prober that tracks who is alive
+  (and lets restarted nodes rejoin), and :class:`PeerStore`, which
+  plugs the fleet into each scheduler's ``remote_store`` hook so a
+  cache miss anywhere is answered by a hit anywhere.
+* :mod:`repro.fabric.coordinator` - the work layer: plans a campaign
+  once (deterministically), shards it into contiguous batches, submits
+  them to peers as ordinary sliced jobs, steals work back from dead or
+  slow nodes, and accounts for every experiment exactly once in a
+  crash-safe journal whose aggregate is bit-identical to a single-node
+  ``Campaign.run``.
+
+Entry points: ``argus-repro fabric serve / submit / status``.  See the
+federation section of ``docs/SERVICE.md``.
+"""
+
+from repro.fabric.coordinator import (Batch, FabricCoordinator, FabricError,
+                                      run_fabric_campaign)
+from repro.fabric.topology import (Peer, PeerStore, Topology, TopologyError)
+
+__all__ = [
+    "Batch",
+    "FabricCoordinator",
+    "FabricError",
+    "run_fabric_campaign",
+    "Peer",
+    "PeerStore",
+    "Topology",
+    "TopologyError",
+]

@@ -1,0 +1,280 @@
+"""Fleet topology: a static peer list with live health probing.
+
+The fabric's membership model is deliberately simple and operable: a
+JSON **topology file** names every node up front, and a background
+prober keeps a live view of who is answering::
+
+    {"peers": [
+        {"name": "node-a", "url": "http://10.0.0.1:8471"},
+        {"name": "node-b", "url": "http://10.0.0.2:8471"},
+        {"name": "node-c", "url": "http://10.0.0.3:8471"}
+    ]}
+
+Every node of the fleet can load the same file; ``self_url`` excludes
+the loading node from its own peer set.  Probes hit ``GET /metrics``
+(liveness plus a load snapshot - queue depth, utilization, store size -
+in one request) with client retries disabled, so a dead node is
+detected within ``fail_after`` probe intervals.  Any successful
+response resets the failure count: nodes rejoin automatically after a
+restart, which is what lets the coordinator treat "dead" as "dead *for
+now*".
+
+:class:`PeerStore` adapts the topology to the scheduler's
+``remote_store`` hook: a cache miss on one node is answered by any
+peer that already holds the record, making the fleet's stores one
+merged content-addressed cache.
+"""
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.service.client import ServiceClient
+
+#: Probe cadence and the consecutive-failure threshold for "dead".
+DEFAULT_PROBE_INTERVAL = 1.0
+DEFAULT_FAIL_AFTER = 2
+
+#: Keys per /store/lookup request (bounds request bodies; a full
+#: million-experiment campaign still syncs in ~1000 requests).
+LOOKUP_CHUNK = 1024
+
+
+class TopologyError(ValueError):
+    """A topology file is malformed or names no usable peers."""
+
+
+@dataclass
+class Peer:
+    """One fleet node and the prober's live view of it."""
+
+    name: str
+    url: str
+    alive: bool = True  # optimistic until a probe says otherwise
+    failures: int = 0  # consecutive failed probes
+    probes: int = 0
+    last_probe: Optional[float] = None
+    last_error: Optional[str] = None
+    load: dict = field(default_factory=dict)  # /metrics snapshot subset
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "url": self.url,
+            "alive": self.alive,
+            "failures": self.failures,
+            "probes": self.probes,
+            "last_probe": self.last_probe,
+            "last_error": self.last_error,
+            "load": dict(self.load),
+        }
+
+
+class Topology:
+    """A static peer list plus the machinery that keeps it honest.
+
+    Thread-safe: the background prober, the coordinator's dispatch loop
+    and the server's ``/peers`` handler all read and mark peers
+    concurrently.
+    """
+
+    def __init__(self, peers, self_url=None,
+                 probe_interval=DEFAULT_PROBE_INTERVAL,
+                 fail_after=DEFAULT_FAIL_AFTER, client_timeout=10.0):
+        self.peers = list(peers)
+        if not self.peers:
+            raise TopologyError("topology names no peers")
+        self.self_url = _normalize_url(self_url) if self_url else None
+        self.probe_interval = probe_interval
+        self.fail_after = max(1, fail_after)
+        self.client_timeout = client_timeout
+        self._lock = threading.RLock()
+        self._clients = {}
+        self._thread = None
+        self._stop = threading.Event()
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def load(cls, path, **kwargs):
+        """Load a JSON topology file (see the module docstring)."""
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise TopologyError("cannot read topology %s: %s"
+                                % (path, exc)) from exc
+        entries = payload.get("peers") if isinstance(payload, dict) else None
+        if not isinstance(entries, list) or not entries:
+            raise TopologyError(
+                'topology %s must be {"peers": [{"name", "url"}, ...]}'
+                % path)
+        peers = []
+        for index, entry in enumerate(entries):
+            if not isinstance(entry, dict) or "url" not in entry:
+                raise TopologyError(
+                    "topology %s: peer %d needs at least a url"
+                    % (path, index))
+            peers.append(Peer(name=entry.get("name", "peer-%d" % index),
+                              url=_normalize_url(entry["url"])))
+        return cls(peers, **kwargs)
+
+    @classmethod
+    def from_urls(cls, urls, **kwargs):
+        return cls([Peer(name="peer-%d" % index, url=_normalize_url(url))
+                    for index, url in enumerate(urls)], **kwargs)
+
+    def save(self, path):
+        """Write the static part (names + urls) as a topology file."""
+        with open(path, "w") as handle:
+            json.dump({"peers": [{"name": peer.name, "url": peer.url}
+                                 for peer in self.peers]},
+                      handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    # -- views ---------------------------------------------------------------
+    def client(self, peer):
+        """A (cached) :class:`ServiceClient` bound to ``peer``."""
+        with self._lock:
+            if peer.url not in self._clients:
+                self._clients[peer.url] = ServiceClient(
+                    peer.url, timeout=self.client_timeout)
+            return self._clients[peer.url]
+
+    def alive(self):
+        """Live peers, excluding this node itself."""
+        with self._lock:
+            return [peer for peer in self.peers
+                    if peer.alive and peer.url != self.self_url]
+
+    def set_self(self, url):
+        """Name this node's own URL (set after the socket binds), so it
+        never probes or dispatches to itself."""
+        with self._lock:
+            self.self_url = _normalize_url(url)
+
+    def peer_for(self, url):
+        url = _normalize_url(url)
+        with self._lock:
+            for peer in self.peers:
+                if peer.url == url:
+                    return peer
+        return None
+
+    def to_dict(self):
+        with self._lock:
+            return {"self": self.self_url,
+                    "peers": [peer.to_dict() for peer in self.peers]}
+
+    # -- probing -------------------------------------------------------------
+    def probe(self, peer):
+        """One liveness+load probe; returns the peer's new aliveness."""
+        client = self.client(peer)
+        try:
+            metrics = client._request("GET", "/metrics", retries=0)
+        except Exception as exc:  # noqa: BLE001 - any failure means "down"
+            return self._mark(peer, error="%s: %s"
+                              % (type(exc).__name__, exc))
+        with self._lock:
+            peer.probes += 1
+            peer.failures = 0
+            peer.alive = True
+            peer.last_probe = time.time()
+            peer.last_error = None
+            peer.load = {
+                "queue_depth": metrics.get("queue_depth"),
+                "jobs": metrics.get("jobs", {}),
+                "worker_utilization": metrics.get("worker_utilization"),
+                "store_rows": (metrics.get("store") or {}).get("rows"),
+                "uptime_seconds": metrics.get("uptime_seconds"),
+            }
+        return True
+
+    def probe_all(self):
+        """Probe every peer (including a dead one - nodes rejoin)."""
+        for peer in list(self.peers):
+            if peer.url == self.self_url:
+                continue
+            if self._stop.is_set():
+                break
+            self.probe(peer)
+        return self.alive()
+
+    def mark_failure(self, peer, error="request failed"):
+        """Record an out-of-band failure (a dispatch or fetch that
+        died); counts toward the same ``fail_after`` threshold."""
+        return self._mark(peer, error=error)
+
+    def _mark(self, peer, error):
+        with self._lock:
+            peer.probes += 1
+            peer.failures += 1
+            peer.last_probe = time.time()
+            peer.last_error = error
+            if peer.failures >= self.fail_after:
+                peer.alive = False
+            return peer.alive
+
+    # -- background prober ---------------------------------------------------
+    def start(self):
+        """Run ``probe_all`` on a daemon thread every ``probe_interval``."""
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+
+        def _loop():
+            while not self._stop.wait(self.probe_interval):
+                self.probe_all()
+
+        self._thread = threading.Thread(target=_loop, daemon=True,
+                                        name="argus-fabric-prober")
+        self._thread.start()
+        return self
+
+    def stop(self):
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+
+class PeerStore:
+    """Adapts a :class:`Topology` to the scheduler's ``remote_store`` hook.
+
+    ``lookup(keys)`` asks each live peer (in turn, chunked) for the
+    still-missing keys and merges the answers.  Every failure is
+    swallowed after being reported to the topology - a remote cache is
+    an optimization, never a dependency.
+    """
+
+    def __init__(self, topology, chunk=LOOKUP_CHUNK):
+        self.topology = topology
+        self.chunk = max(1, chunk)
+
+    def lookup(self, keys):
+        found = {}
+        missing = list(keys)
+        for peer in self.topology.alive():
+            if not missing:
+                break
+            records = {}
+            try:
+                client = self.topology.client(peer)
+                for index in range(0, len(missing), self.chunk):
+                    records.update(client.store_lookup(
+                        missing[index:index + self.chunk]))
+            except Exception as exc:  # noqa: BLE001 - peers are best-effort
+                self.topology.mark_failure(
+                    peer, error="store_lookup: %s" % exc)
+                continue
+            found.update(records)
+            missing = [key for key in missing if key not in found]
+        return found
+
+
+def _normalize_url(url):
+    url = str(url).rstrip("/")
+    if "//" not in url:
+        url = "http://" + url
+    return url

@@ -80,6 +80,20 @@ class CampaignPlan:
             buckets[exp.index % shards].append(exp)
         return [bucket for bucket in buckets if bucket]
 
+    def slice(self, start, stop):
+        """A sub-plan covering plan indices ``[start, stop)``.
+
+        Experiments keep their global identity (id, index, derived
+        seed), so a slice's results are interchangeable with the full
+        plan's: the fabric coordinator shards a campaign into slices,
+        runs them on different nodes, and aggregates the union under
+        the *full* plan.  Bounds are clamped to the plan.
+        """
+        start = max(0, int(start))
+        stop = len(self.experiments) if stop is None else int(stop)
+        return CampaignPlan(duration=self.duration, seed=self.seed,
+                            experiments=self.experiments[start:stop])
+
 
 def plan_campaign(points, experiments, duration, seed):
     """Sample ``experiments`` weighted injection points into a plan.

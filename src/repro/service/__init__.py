@@ -33,7 +33,7 @@ Entry point: ``argus-repro serve``.  See ``docs/SERVICE.md``.
 
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.scheduler import (CampaignSpec, Job, JobScheduler,
-                                     SpecError)
+                                     RetryPolicy, SpecError)
 from repro.service.server import ServiceServer
 from repro.service.store import ResultStore, binary_digest, experiment_key
 
@@ -41,6 +41,7 @@ __all__ = [
     "CampaignSpec",
     "Job",
     "JobScheduler",
+    "RetryPolicy",
     "SpecError",
     "ResultStore",
     "binary_digest",

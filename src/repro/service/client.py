@@ -1,11 +1,17 @@
 """Stdlib HTTP client for the campaign service.
 
-Wraps :mod:`http.client` (no third-party deps) with the five verbs the
+Wraps :mod:`http.client` (no third-party deps) with the verbs the
 service speaks: submit a campaign, poll a job, stream its telemetry
-events, download its results, and read server health/metrics.  Used by
-the ``argus-repro submit / jobs / fetch`` subcommands, the tests, and
-the throughput benchmark; also a reasonable template for external
-callers.
+events, download its results, read server health/metrics, and exchange
+content-addressed store entries (the fabric's cache wire).  Used by the
+``argus-repro submit / jobs / fetch / fabric`` subcommands, the
+topology prober, the tests, and the throughput benchmarks; also a
+reasonable template for external callers.
+
+Idempotent GETs retry with bounded exponential backoff on
+refused/reset connections (a peer mid-restart, a droplet of packet
+loss); POSTs never retry automatically - a resubmitted job is a new
+job, so the caller decides.
 """
 
 import http.client
@@ -13,7 +19,14 @@ import json
 import time
 from urllib.parse import urlsplit
 
+from repro.service.scheduler import RetryPolicy
+
 DEFAULT_URL = "http://127.0.0.1:8471"
+
+#: GET retry defaults: 3 extra attempts, 0.1s doubling to a 2s cap.
+DEFAULT_RETRIES = 3
+RETRY_BASE = 0.1
+RETRY_CAP = 2.0
 
 
 class ServiceError(RuntimeError):
@@ -27,20 +40,45 @@ class ServiceError(RuntimeError):
 class ServiceClient:
     """A thin client bound to one server base URL."""
 
-    def __init__(self, url=DEFAULT_URL, timeout=30.0):
+    def __init__(self, url=DEFAULT_URL, timeout=30.0,
+                 retries=DEFAULT_RETRIES, sleep=time.sleep):
         parts = urlsplit(url if "//" in url else "//" + url)
         if parts.scheme not in ("", "http"):
             raise ValueError("only http:// URLs are supported, got %r" % url)
         self.host = parts.hostname or "127.0.0.1"
         self.port = parts.port or 8471
         self.timeout = timeout
+        self.retries = max(0, retries)
+        self._sleep = sleep
+
+    @property
+    def url(self):
+        return "http://%s:%d" % (self.host, self.port)
 
     def _connect(self, timeout=None):
         return http.client.HTTPConnection(
             self.host, self.port,
             timeout=self.timeout if timeout is None else timeout)
 
-    def _request(self, method, path, payload=None):
+    def _request(self, method, path, payload=None, retries=None):
+        """One API call; idempotent GETs retry on connection failures.
+
+        ``ConnectionError`` covers refused, reset and aborted
+        connections plus ``http.client.RemoteDisconnected`` - exactly
+        the failures a restarting or briefly overloaded peer produces.
+        ``retries=0`` disables retrying (the topology prober wants fast
+        dead-peer verdicts).
+        """
+        if method != "GET":
+            return self._request_once(method, path, payload)
+        policy = RetryPolicy(
+            retries=self.retries if retries is None else max(0, retries),
+            base=RETRY_BASE, cap=RETRY_CAP, sleep=self._sleep)
+        return policy.call(
+            lambda: self._request_once(method, path, payload),
+            retry_on=(ConnectionError,))
+
+    def _request_once(self, method, path, payload=None):
         conn = self._connect()
         try:
             body = None
@@ -63,11 +101,39 @@ class ServiceClient:
             conn.close()
 
     # -- API verbs -----------------------------------------------------------
-    def healthz(self):
-        return self._request("GET", "/healthz")
+    def healthz(self, retries=None):
+        return self._request("GET", "/healthz", retries=retries)
 
     def metrics(self):
         return self._request("GET", "/metrics")
+
+    def peers(self):
+        """This node's topology view: ``{"peers": [...], ...}``."""
+        return self._request("GET", "/peers")
+
+    # -- fabric store exchange ----------------------------------------------
+    def store_get(self, key):
+        """One content-addressed record from the peer (None on a miss)."""
+        try:
+            return self._request("GET", "/store/%s" % key)
+        except ServiceError as exc:
+            if exc.status == 404:
+                return None
+            raise
+
+    def store_lookup(self, keys):
+        """Batch store read: ``{key: record}`` for every peer-side hit."""
+        response = self._request("POST", "/store/lookup",
+                                 payload={"keys": list(keys)})
+        return response["records"]
+
+    def store_sync(self, entries):
+        """Push ``(key, experiment_id, record)`` triples; returns the
+        number the peer newly stored."""
+        response = self._request(
+            "POST", "/store/sync",
+            payload={"entries": [list(entry) for entry in entries]})
+        return response["stored"]
 
     def submit(self, spec):
         """Submit a campaign spec dict; returns the job document."""

@@ -55,6 +55,44 @@ class SpecError(ValueError):
     """A submitted campaign spec is malformed (HTTP 400)."""
 
 
+class RetryPolicy:
+    """Bounded exponential backoff: ``base * 2**attempt`` capped at ``cap``.
+
+    One policy object serves every retry loop in the stack - the
+    scheduler's batch execution, the HTTP client's idempotent GETs and
+    the fabric coordinator's dispatch/steal loop - so their failure
+    behaviour is uniform and uniformly testable (``sleep`` is
+    injectable).
+    """
+
+    def __init__(self, retries=3, base=0.25, cap=8.0, sleep=time.sleep):
+        self.retries = max(0, retries)
+        self.base = base
+        self.cap = cap
+        self._sleep = sleep
+
+    def delay(self, attempt):
+        return min(self.cap, self.base * (2 ** attempt))
+
+    def call(self, fn, retry_on=(Exception,), on_retry=None):
+        """``fn()`` with up to ``retries`` backed-off re-attempts.
+
+        ``retry_on`` bounds what is worth re-attempting (everything
+        else propagates immediately); ``on_retry(attempt)`` runs before
+        each backoff sleep (counters, logging).  The final failure
+        re-raises the original exception.
+        """
+        for attempt in range(self.retries + 1):
+            try:
+                return fn()
+            except retry_on:
+                if attempt >= self.retries:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt)
+                self._sleep(self.delay(attempt))
+
+
 class DrainingError(RuntimeError):
     """The scheduler is draining and accepts no new jobs (HTTP 503)."""
 
@@ -72,6 +110,14 @@ class CampaignSpec:
     assembly instead (embedded server-side).  Everything that can alter
     an experiment's outcome is here; scheduling knobs (priority) ride
     along but stay out of the content address.
+
+    ``plan_start``/``plan_stop`` select a *slice* of the deterministic
+    plan: the node still plans the full ``experiments``-sized campaign
+    (so every experiment keeps its global identity, derived seed and
+    content key) but only executes indices ``[plan_start, plan_stop)``.
+    This is how the fabric coordinator shards one campaign across a
+    fleet - every shard's results are interchangeable with a
+    single-node run's.
     """
 
     workload: Optional[str] = "stress"
@@ -84,10 +130,12 @@ class CampaignSpec:
     use_checkpoints: bool = True
     checkpoint_interval: Optional[int] = None
     priority: int = 0
+    plan_start: Optional[int] = None
+    plan_stop: Optional[int] = None
 
     _FIELDS = ("workload", "source", "experiments", "duration", "seed",
                "run_slack", "include_double_bits", "use_checkpoints",
-               "checkpoint_interval", "priority")
+               "checkpoint_interval", "priority", "plan_start", "plan_stop")
 
     @classmethod
     def from_dict(cls, payload):
@@ -126,6 +174,22 @@ class CampaignSpec:
             raise SpecError("run_slack must be a positive number")
         if not isinstance(self.priority, int):
             raise SpecError("priority must be an int")
+        if (self.plan_start is None) != (self.plan_stop is None):
+            raise SpecError("plan_start and plan_stop go together")
+        if self.plan_start is not None:
+            if not isinstance(self.plan_start, int) \
+                    or not isinstance(self.plan_stop, int):
+                raise SpecError("plan_start/plan_stop must be ints")
+            if not 0 <= self.plan_start < self.plan_stop <= self.experiments:
+                raise SpecError(
+                    "need 0 <= plan_start < plan_stop <= experiments, got "
+                    "[%s, %s) of %d"
+                    % (self.plan_start, self.plan_stop, self.experiments))
+
+    @property
+    def sliced(self):
+        """True when this spec covers a shard of the plan, not all of it."""
+        return self.plan_start is not None
 
     def to_dict(self):
         return {name: getattr(self, name) for name in self._FIELDS}
@@ -247,7 +311,7 @@ class JobScheduler:
 
     def __init__(self, store, data_dir, workers=1, job_runners=1,
                  batch_size=None, retries=3, backoff_base=0.25,
-                 backoff_cap=8.0, sleep=time.sleep):
+                 backoff_cap=8.0, sleep=time.sleep, remote_store=None):
         self.store = store
         self.data_dir = str(data_dir)
         self.jobs_dir = os.path.join(self.data_dir, "jobs")
@@ -259,6 +323,13 @@ class JobScheduler:
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self._sleep = sleep
+        self.retry = RetryPolicy(retries=self.retries, base=backoff_base,
+                                 cap=backoff_cap, sleep=sleep)
+        #: Optional fabric hook: an object with ``lookup(keys) ->
+        #: {key: record}`` that asks peer nodes for cache misses.  It is
+        #: an optimization only - any failure degrades to local
+        #: execution, never to a failed job.
+        self.remote_store = remote_store
         self._queue = queue.PriorityQueue()
         self._seq = 0
         self._jobs = {}
@@ -270,6 +341,7 @@ class JobScheduler:
         self._busy_seconds = 0.0
         self._active_jobs = 0
         self._batches_retried = 0
+        self._remote_hits = 0
 
     # -- persistence ---------------------------------------------------------
     def _meta_path(self, job_id):
@@ -368,6 +440,7 @@ class JobScheduler:
                     min(1.0, busy / (elapsed * self.job_runners))
                     if elapsed > 0 else 0.0,
                 "batches_retried": self._batches_retried,
+                "remote_store_hits": self._remote_hits,
                 "campaign_workers": self.workers,
                 "job_runners": self.job_runners,
                 "draining": self._draining.is_set(),
@@ -449,6 +522,11 @@ class JobScheduler:
             plans = [plan_campaign(campaign.points, job.spec.experiments,
                                    duration, seed=job.spec.seed)
                      for duration in job.spec.durations()]
+            if job.spec.sliced:
+                # A fabric shard: plan the full campaign (identities are
+                # global) but execute only this node's slice of it.
+                plans = [plan.slice(job.spec.plan_start, job.spec.plan_stop)
+                         for plan in plans]
             with self._lock:
                 job.total = sum(len(plan) for plan in plans)
                 job.completed = job.cached = job.executed = job.resumed = 0
@@ -487,7 +565,28 @@ class JobScheduler:
                    if exp.experiment_id not in journal.records]
         hits = self.store.get_many([keys[exp.experiment_id]
                                     for exp in pending])
-        misses = []
+        misses = [exp for exp in pending
+                  if keys[exp.experiment_id] not in hits]
+        if misses and self.remote_store is not None:
+            # Ask the fleet before simulating: a peer may already hold
+            # the answer.  Remote hits land in the local store too, so
+            # the merged cache spreads as it is used.
+            try:
+                remote = self.remote_store.lookup(
+                    [keys[exp.experiment_id] for exp in misses])
+            except Exception:  # noqa: BLE001 - peers are best-effort
+                remote = {}
+            if remote:
+                self.store.put_many(
+                    [(keys[exp.experiment_id], exp.experiment_id,
+                      remote[keys[exp.experiment_id]])
+                     for exp in misses
+                     if keys[exp.experiment_id] in remote])
+                with self._lock:
+                    self._remote_hits += len(remote)
+                hits.update(remote)
+                misses = [exp for exp in misses
+                          if keys[exp.experiment_id] not in hits]
         for exp in pending:
             record = hits.get(keys[exp.experiment_id])
             if record is not None:
@@ -495,8 +594,6 @@ class JobScheduler:
                 with self._lock:
                     job.cached += 1
                     job.completed += 1
-            else:
-                misses.append(exp)
 
         tracker = ProgressTracker(sink, plan.duration, len(plan),
                                   skipped=len(plan) - len(misses))
@@ -531,21 +628,15 @@ class JobScheduler:
         attempt and surfaces as the job's error after ``retries``
         backoffs.
         """
-        for attempt in range(self.retries + 1):
-            try:
-                results = self._execute_batch(campaign, batch)
-            except Exception:
-                if attempt >= self.retries:
-                    raise
-                with self._lock:
-                    self._batches_retried += 1
-                delay = min(self.backoff_cap,
-                            self.backoff_base * (2 ** attempt))
-                self._sleep(delay)
-                continue
-            for experiment_id, record in results:
-                commit(experiment_id, record)
-            return
+        def count_retry(_attempt):
+            with self._lock:
+                self._batches_retried += 1
+
+        results = self.retry.call(
+            lambda: self._execute_batch(campaign, batch),
+            on_retry=count_retry)
+        for experiment_id, record in results:
+            commit(experiment_id, record)
 
     def _execute_batch(self, campaign, batch):
         """Run one batch of planned experiments; returns (id, record)s.

@@ -13,8 +13,20 @@ no ``http.server``, no third-party frameworks.  Endpoints:
                           ``X-Argus-Job-State`` header flags partial fetches
 ``GET /healthz``          liveness
 ``GET /metrics``          throughput, cache hit rate, queue depth,
-                          worker utilization (JSON)
+                          store hit/miss counters, per-endpoint request
+                          counts, worker utilization (JSON)
+``GET /peers``            this node's fabric topology view (static peer
+                          list + live probe state); empty standalone
+``GET /store/<key>``      one content-addressed result record (404 miss)
+``POST /store/lookup``    batch store read: ``{"keys": [...]}`` ->
+                          ``{"records": {key: record}}``
+``POST /store/sync``      batch store write: ``{"entries": [[key, id,
+                          record], ...]}`` -> ``{"stored": n}``
 ========================  ====================================================
+
+The ``/store/*`` endpoints are the fabric's cache-exchange wire: any
+node can pull (or be pushed) another node's results on demand, so the
+fleet behaves as one merged content-addressed cache.
 
 Scheduler calls are all sub-millisecond (submission only enqueues), so
 they run inline on the event loop; the long work happens on the
@@ -101,10 +113,17 @@ class ServiceServer:
     parsing logs.
     """
 
-    def __init__(self, scheduler, host="127.0.0.1", port=8471):
+    def __init__(self, scheduler, host="127.0.0.1", port=8471,
+                 topology=None):
         self.scheduler = scheduler
         self.host = host
         self.port = port
+        #: Optional :class:`repro.fabric.topology.Topology`; enables the
+        #: ``/peers`` view.  A standalone node reports no peers.
+        self.topology = topology
+        #: Per-endpoint request counters ("GET /jobs/<id>" -> count).
+        #: Touched only on the event loop, read via /metrics.
+        self.request_counts = {}
         self._server = None
         self._loop = None
         self._thread = None
@@ -140,9 +159,38 @@ class ServiceServer:
                 # task.exception() and chokes on cancelled tasks.
                 writer.close()
 
+    def _count_request(self, method, parts):
+        """Bump the per-endpoint counter under a cardinality-safe label."""
+        if not parts:
+            label = "%s /" % method
+        elif parts[0] == "jobs" and len(parts) >= 2:
+            label = "%s /jobs/<id>" % method
+            if len(parts) >= 3:
+                label += "/" + parts[2]
+        elif parts[0] == "store" and len(parts) == 2 \
+                and parts[1] not in ("lookup", "sync"):
+            label = "%s /store/<key>" % method
+        else:
+            label = "%s /%s" % (method, "/".join(parts))
+        self.request_counts[label] = self.request_counts.get(label, 0) + 1
+
+    def _metrics(self):
+        """The scheduler's counters plus the HTTP/store-level gauges."""
+        store = self.scheduler.store
+        payload = self.scheduler.metrics()
+        payload["store_hits"] = store.hits
+        payload["store_misses"] = store.misses
+        payload["store_rows"] = len(store)
+        payload["http_requests"] = dict(self.request_counts)
+        if self.topology is not None:
+            payload["peers_alive"] = len(self.topology.alive())
+            payload["peers_total"] = len(self.topology.peers)
+        return payload
+
     async def _route(self, writer, method, path, body):
         path = path.split("?", 1)[0]
         parts = [part for part in path.split("/") if part]
+        self._count_request(method, parts)
         if path == "/healthz" and method == "GET":
             writer.write(_response_bytes(200, {
                 "ok": True,
@@ -150,7 +198,15 @@ class ServiceServer:
                     self.scheduler.metrics()["uptime_seconds"]}))
             return
         if path == "/metrics" and method == "GET":
-            writer.write(_response_bytes(200, self.scheduler.metrics()))
+            writer.write(_response_bytes(200, self._metrics()))
+            return
+        if path == "/peers" and method == "GET":
+            payload = ({"peers": []} if self.topology is None
+                       else self.topology.to_dict())
+            writer.write(_response_bytes(200, payload))
+            return
+        if parts[:1] == ["store"]:
+            await self._route_store(writer, method, parts, body)
             return
         if parts[:1] == ["jobs"]:
             if len(parts) == 1:
@@ -180,6 +236,49 @@ class ServiceServer:
                 return
         writer.write(_response_bytes(
             404, {"error": "no route for %s %s" % (method, path)}))
+
+    async def _route_store(self, writer, method, parts, body):
+        """The fabric cache-exchange endpoints (single get, batch
+        lookup, batch sync)."""
+        store = self.scheduler.store
+        if len(parts) == 2 and parts[1] == "lookup" and method == "POST":
+            payload = self._json_body(body)
+            keys = payload.get("keys") if isinstance(payload, dict) else None
+            if not isinstance(keys, list):
+                raise _BadRequest('expected {"keys": [...]}')
+            writer.write(_response_bytes(
+                200, {"records": store.get_many(keys)}))
+            return
+        if len(parts) == 2 and parts[1] == "sync" and method == "POST":
+            payload = self._json_body(body)
+            entries = (payload.get("entries")
+                       if isinstance(payload, dict) else None)
+            if not isinstance(entries, list) \
+                    or not all(isinstance(entry, (list, tuple))
+                               and len(entry) == 3 for entry in entries):
+                raise _BadRequest(
+                    'expected {"entries": [[key, experiment_id, record], '
+                    '...]}')
+            stored = store.put_many([tuple(entry) for entry in entries])
+            writer.write(_response_bytes(200, {"stored": stored}))
+            return
+        if len(parts) == 2 and method == "GET":
+            record = store.get(parts[1])
+            if record is None:
+                writer.write(_response_bytes(
+                    404, {"error": "no record for key %s" % parts[1]}))
+            else:
+                writer.write(_response_bytes(200, record))
+            return
+        writer.write(_response_bytes(
+            404, {"error": "no route for %s /%s" % (method, "/".join(parts))}))
+
+    @staticmethod
+    def _json_body(body):
+        try:
+            return json.loads(body.decode("utf-8") or "null")
+        except ValueError:
+            raise _BadRequest("body is not JSON") from None
 
     async def _submit(self, writer, body):
         try:

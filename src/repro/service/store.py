@@ -83,12 +83,18 @@ class ResultStore:
     def __init__(self, path=":memory:"):
         self.path = str(path)
         self._lock = threading.RLock()
-        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        # A generous connect timeout plus busy_timeout makes the store
+        # safe for *multi-process* sharing (several schedulers over one
+        # SQLite file): concurrent writers wait out each other's
+        # transactions instead of raising "database is locked".
+        self._conn = sqlite3.connect(self.path, check_same_thread=False,
+                                     timeout=30.0)
         self.hits = 0
         self.misses = 0
         self.inserts = 0
         with self._lock:
             try:
+                self._conn.execute("PRAGMA busy_timeout=30000")
                 self._conn.execute("PRAGMA journal_mode=WAL")
             except sqlite3.OperationalError:
                 pass  # e.g. read-only or network filesystem; default mode
@@ -130,6 +136,25 @@ class ResultStore:
                     found[key] = json.loads(row[0])
         self.hits += len(found)
         self.misses += len(keys) - len(found)
+        return found
+
+    def entries_many(self, keys):
+        """``[(key, experiment_id, record)]`` for every hit among ``keys``.
+
+        The triple form is exactly what :meth:`put_many` consumes, so
+        two stores synchronize with
+        ``other.put_many(self.entries_many(keys))`` - the wire format of
+        the fabric's ``POST /store/sync`` exchange.  Does not touch the
+        hit/miss counters (sync traffic is not demand lookups).
+        """
+        found = []
+        with self._lock:
+            for key in keys:
+                row = self._conn.execute(
+                    "SELECT experiment_id, record FROM results"
+                    " WHERE key = ?", (key,)).fetchone()
+                if row is not None:
+                    found.append((key, row[0], json.loads(row[1])))
         return found
 
     def __len__(self):

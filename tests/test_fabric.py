@@ -1,0 +1,605 @@
+"""Tests for the federated campaign fabric (topology, coordinator, CLI).
+
+The contract under test: a campaign sharded across N job-service nodes
+produces quadrant summaries *bit-identical* to a single-node
+``Campaign.run`` with the same seed; killing a node mid-campaign loses
+and duplicates nothing (work is stolen back and the coordinator journal
+holds every planned experiment id exactly once); and the fleet's stores
+behave as one merged content-addressed cache.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.faults.campaign import Campaign
+from repro.faults.model import TRANSIENT
+from repro.runner import Journal, plan_campaign
+from repro.runner.journal import result_to_record
+from repro.service import (CampaignSpec, JobScheduler, ResultStore,
+                           ServiceClient, ServiceError, ServiceServer,
+                           SpecError)
+from repro.fabric import (FabricCoordinator, FabricError, Peer, PeerStore,
+                          Topology, TopologyError, run_fabric_campaign)
+from repro.toolchain import embed_program
+
+SMALL = """
+start:  li   r1, 6
+        li   r2, 0
+        la   r6, buf
+loop:   add  r2, r2, r1
+        sw   r2, 0(r6)
+        addi r1, r1, -1
+        sfgtsi r1, 0
+        bf   loop
+        nop
+        mul  r3, r2, r2
+        sw   r3, 4(r6)
+        halt
+        .data
+buf:    .word 0, 0
+"""
+
+SEED = 11
+EXPERIMENTS = 16
+
+
+def small_spec(**overrides):
+    spec = {"source": SMALL, "workload": None, "experiments": EXPERIMENTS,
+            "duration": "transient", "seed": SEED}
+    spec.update(overrides)
+    return spec
+
+
+def direct_summary(experiments=EXPERIMENTS, seed=SEED):
+    return Campaign(embedded=embed_program(SMALL), seed=seed).run(
+        experiments=experiments, duration=TRANSIENT, workers=1)
+
+
+def identical(fleet, direct):
+    return (fleet.total == direct.total
+            and fleet.fractions() == direct.fractions()
+            and fleet.checker_counts == direct.checker_counts)
+
+
+class Fleet:
+    """N in-process service nodes on real localhost sockets."""
+
+    def __init__(self, tmp_path, n, remote_store=True):
+        self.nodes = []
+        self.urls = []
+        for index in range(n):
+            data_dir = str(tmp_path / ("node%d" % index))
+            os.makedirs(data_dir)
+            store = ResultStore(os.path.join(data_dir, "store.sqlite"))
+            scheduler = JobScheduler(store, data_dir, workers=1)
+            server = ServiceServer(scheduler, port=0)
+            self.nodes.append({"store": store, "scheduler": scheduler,
+                               "server": server, "alive": True})
+        for node in self.nodes:
+            host, port = node["server"].start_in_thread()
+            self.urls.append("http://%s:%d" % (host, port))
+        if remote_store:
+            # Each node answers cache misses from its peers' stores.
+            for index, node in enumerate(self.nodes):
+                peer_view = Topology.from_urls(self.urls,
+                                               self_url=self.urls[index])
+                node["scheduler"].remote_store = PeerStore(peer_view)
+        for node in self.nodes:
+            node["scheduler"].start()
+
+    def topology(self, **kwargs):
+        return Topology.from_urls(self.urls, **kwargs)
+
+    def kill(self, index):
+        """Hard-stop one node (its port goes dark like a crash)."""
+        node = self.nodes[index]
+        if not node["alive"]:
+            return
+        node["server"].stop()
+        node["scheduler"].shutdown(wait=False)
+        node["alive"] = False
+
+    def close(self):
+        for index in range(len(self.nodes)):
+            self.kill(index)
+        for node in self.nodes:
+            node["store"].close()
+
+
+@pytest.fixture()
+def fleet3(tmp_path):
+    fleet = Fleet(tmp_path, 3)
+    yield fleet
+    fleet.close()
+
+
+# -- topology ----------------------------------------------------------------
+
+class TestTopology:
+    def test_load_save_roundtrip_and_validation(self, tmp_path):
+        path = str(tmp_path / "topo.json")
+        topo = Topology.from_urls(
+            ["http://127.0.0.1:1", "127.0.0.1:2/"])
+        topo.save(path)
+        loaded = Topology.load(path)
+        assert [p.url for p in loaded.peers] == \
+            ["http://127.0.0.1:1", "http://127.0.0.1:2"]
+        assert [p.name for p in loaded.peers] == ["peer-0", "peer-1"]
+
+        bad = str(tmp_path / "bad.json")
+        with open(bad, "w") as handle:
+            handle.write("{not json")
+        with pytest.raises(TopologyError):
+            Topology.load(bad)
+        with open(bad, "w") as handle:
+            json.dump({"peers": []}, handle)
+        with pytest.raises(TopologyError):
+            Topology.load(bad)
+        with open(bad, "w") as handle:
+            json.dump({"peers": [{"name": "no-url"}]}, handle)
+        with pytest.raises(TopologyError):
+            Topology.load(bad)
+        with pytest.raises(TopologyError):
+            Topology([])
+
+    def test_probe_marks_dead_after_fail_after_then_rejoins(self, fleet3):
+        # One real node plus one black-hole peer.
+        topo = Topology([Peer(name="live", url=fleet3.urls[0]),
+                         Peer(name="hole", url="http://127.0.0.1:1")],
+                        fail_after=2)
+        topo.probe_all()
+        live, hole = topo.peers
+        assert live.alive and live.failures == 0
+        assert live.load["queue_depth"] == 0
+        assert hole.alive and hole.failures == 1  # not yet at fail_after
+        topo.probe_all()
+        assert not hole.alive and hole.last_error
+        assert [p.name for p in topo.alive()] == ["live"]
+        # A restarted node rejoins on its first successful probe.
+        hole.url = fleet3.urls[1]
+        topo._clients.pop("http://127.0.0.1:1", None)
+        assert topo.probe(hole)
+        assert hole.alive and hole.failures == 0
+
+    def test_alive_excludes_self(self, fleet3):
+        topo = fleet3.topology(self_url=fleet3.urls[0])
+        assert fleet3.urls[0] not in [p.url for p in topo.alive()]
+        topo2 = fleet3.topology()
+        topo2.set_self(fleet3.urls[1])
+        assert fleet3.urls[1] not in [p.url for p in topo2.alive()]
+
+    def test_mark_failure_counts_toward_threshold(self):
+        topo = Topology.from_urls(["http://127.0.0.1:1"], fail_after=2)
+        peer = topo.peers[0]
+        assert topo.mark_failure(peer, "submit: boom")
+        assert not topo.mark_failure(peer, "submit: boom")
+        assert not peer.alive
+
+
+# -- store exchange (the fabric cache wire) ----------------------------------
+
+class TestStoreExchange:
+    def test_store_endpoints_roundtrip(self, fleet3):
+        client = ServiceClient(fleet3.urls[0])
+        record = {"detected": True, "checker": "parity"}
+        assert client.store_sync([("k1", "transient/000000", record)]) == 1
+        assert client.store_sync([("k1", "transient/000000", record)]) == 0
+        assert client.store_get("k1") == record
+        assert client.store_get("missing") is None
+        found = client.store_lookup(["k1", "missing"])
+        assert found == {"k1": record}
+
+    def test_peers_endpoint_reports_topology(self, fleet3):
+        client = ServiceClient(fleet3.urls[0])
+        assert client.peers() == {"peers": []}  # standalone: no topology
+
+    def test_peer_store_merges_peers_and_survives_dead_ones(self, fleet3):
+        ServiceClient(fleet3.urls[0]).store_sync([("ka", "t/0", {"a": 1})])
+        ServiceClient(fleet3.urls[1]).store_sync([("kb", "t/1", {"b": 2})])
+        topo = Topology(
+            [Peer(name="dead", url="http://127.0.0.1:1"),
+             Peer(name="a", url=fleet3.urls[0]),
+             Peer(name="b", url=fleet3.urls[1])],
+            fail_after=1, client_timeout=2.0)
+        peer_store = PeerStore(topo)
+        assert peer_store.lookup(["ka", "kb", "kc"]) == \
+            {"ka": {"a": 1}, "kb": {"b": 2}}
+        assert not topo.peers[0].alive  # the dead peer got marked
+
+    def test_remote_store_hit_skips_execution(self, fleet3):
+        """A campaign node B already ran is a pure cache hit on node A."""
+        client_b = ServiceClient(fleet3.urls[1])
+        done = client_b.wait(client_b.submit(small_spec())["id"],
+                             timeout=180)
+        assert done["executed"] == EXPERIMENTS
+        client_a = ServiceClient(fleet3.urls[0])
+        job = client_a.wait(client_a.submit(small_spec())["id"], timeout=180)
+        assert job["state"] == "done"
+        assert job["executed"] == 0
+        assert job["cached"] == EXPERIMENTS
+        assert job["summaries"] == done["summaries"]
+        metrics = client_a.metrics()
+        assert metrics["remote_store_hits"] == EXPERIMENTS
+
+
+# -- /metrics counters (satellite) -------------------------------------------
+
+class TestMetricsCounters:
+    def test_metrics_exposes_store_http_and_queue_gauges(self, fleet3):
+        client = ServiceClient(fleet3.urls[2])
+        client.healthz()
+        client.store_lookup(["nope"])
+        metrics = client.metrics()
+        assert metrics["store_misses"] >= 1
+        assert "store_hits" in metrics and "store_rows" in metrics
+        assert metrics["queue_depth"] == 0
+        requests = metrics["http_requests"]
+        assert requests["GET /healthz"] >= 1
+        assert requests["POST /store/lookup"] >= 1
+        assert requests["GET /metrics"] >= 1
+
+    def test_request_labels_are_cardinality_safe(self, fleet3):
+        client = ServiceClient(fleet3.urls[2])
+        client.store_get("deadbeef")
+        client.store_get("cafebabe")
+        for job_id in ("job-x", "job-y"):
+            with pytest.raises(ServiceError):
+                client.job(job_id)
+        requests = client.metrics()["http_requests"]
+        assert requests["GET /store/<key>"] >= 2
+        assert requests["GET /jobs/<id>"] >= 2
+        assert not any("deadbeef" in label or "job-x" in label
+                       for label in requests)
+
+
+# -- client GET retry (satellite) --------------------------------------------
+
+class _FlakyServer(threading.Thread):
+    """Accepts TCP connections; resets the first ``failures`` of them,
+    then answers any request with a tiny JSON 200."""
+
+    def __init__(self, failures):
+        super().__init__(daemon=True)
+        self.failures = failures
+        self.accepted = 0
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self._shutdown = threading.Event()
+
+    def run(self):
+        self._sock.settimeout(0.2)
+        while not self._shutdown.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except socket.timeout:
+                continue
+            self.accepted += 1
+            if self.accepted <= self.failures:
+                conn.close()  # -> RemoteDisconnected (a ConnectionError)
+                continue
+            try:
+                conn.recv(65536)
+                body = b'{"ok": true}\n'
+                conn.sendall(b"HTTP/1.1 200 OK\r\n"
+                             b"Content-Type: application/json\r\n"
+                             b"Content-Length: %d\r\n"
+                             b"Connection: close\r\n\r\n" % len(body) + body)
+            finally:
+                conn.close()
+
+    def stop(self):
+        self._shutdown.set()
+        self.join(timeout=5)
+        self._sock.close()
+
+
+class TestClientRetry:
+    def test_get_retries_reset_connections_with_backoff(self):
+        server = _FlakyServer(failures=2)
+        server.start()
+        try:
+            delays = []
+            client = ServiceClient("http://127.0.0.1:%d" % server.port,
+                                   retries=3, sleep=delays.append)
+            assert client.healthz() == {"ok": True}
+            assert server.accepted == 3
+            assert delays == [0.1, 0.2]  # bounded exponential backoff
+        finally:
+            server.stop()
+
+    def test_get_gives_up_after_bounded_retries(self):
+        server = _FlakyServer(failures=99)
+        server.start()
+        try:
+            client = ServiceClient("http://127.0.0.1:%d" % server.port,
+                                   retries=2, sleep=lambda _s: None)
+            with pytest.raises(ConnectionError):
+                client.healthz()
+            assert server.accepted == 3  # 1 try + 2 retries
+        finally:
+            server.stop()
+
+    def test_post_never_retries(self):
+        server = _FlakyServer(failures=99)
+        server.start()
+        try:
+            client = ServiceClient("http://127.0.0.1:%d" % server.port,
+                                   retries=5, sleep=lambda _s: None)
+            with pytest.raises(ConnectionError):
+                client.submit({"experiments": 1})
+            assert server.accepted == 1
+        finally:
+            server.stop()
+
+    def test_refused_connection_retries_then_raises(self):
+        delays = []
+        client = ServiceClient("http://127.0.0.1:1", retries=2,
+                               sleep=delays.append)
+        with pytest.raises(ConnectionError):
+            client.healthz()
+        assert delays == [0.1, 0.2]
+        with pytest.raises(ConnectionError):
+            client.healthz(retries=0)  # prober mode: fail fast
+        assert delays == [0.1, 0.2]
+
+
+# -- plan slicing ------------------------------------------------------------
+
+class TestPlanSlicing:
+    def test_slice_preserves_global_identity(self):
+        campaign = Campaign(embedded=embed_program(SMALL), seed=SEED)
+        plan = plan_campaign(campaign.points, 12, TRANSIENT, seed=SEED)
+        part = plan.slice(4, 8)
+        assert part.ids == plan.ids[4:8]
+        assert [e.seed for e in part] == [e.seed for e in plan][4:8]
+        assert [e.index for e in part] == [4, 5, 6, 7]
+        assert plan.slice(-3, None).ids == plan.ids
+        assert len(plan.slice(10, 99)) == 2
+
+    def test_spec_slice_validation(self):
+        spec = CampaignSpec.from_dict(small_spec(plan_start=0, plan_stop=8))
+        assert spec.sliced
+        assert not CampaignSpec.from_dict(small_spec()).sliced
+        for bad in ({"plan_start": 2}, {"plan_stop": 2},
+                    {"plan_start": -1, "plan_stop": 4},
+                    {"plan_start": 4, "plan_stop": 4},
+                    {"plan_start": 0, "plan_stop": EXPERIMENTS + 1},
+                    {"plan_start": "x", "plan_stop": 4}):
+            with pytest.raises(SpecError):
+                CampaignSpec.from_dict(small_spec(**bad))
+
+    def test_sliced_jobs_union_to_the_full_campaign(self, fleet3, tmp_path):
+        direct_journal = str(tmp_path / "direct.jsonl")
+        Campaign(embedded=embed_program(SMALL), seed=SEED).run(
+            experiments=EXPERIMENTS, duration=TRANSIENT, workers=1,
+            journal=direct_journal)
+        expected = Journal(direct_journal).load().records
+
+        client = ServiceClient(fleet3.urls[0])
+        merged = {}
+        for start, stop in ((0, 6), (6, EXPERIMENTS)):
+            job = client.wait(
+                client.submit(small_spec(plan_start=start,
+                                         plan_stop=stop))["id"],
+                timeout=180)
+            assert job["state"] == "done"
+            assert job["completed"] == stop - start
+            merged.update(client.results(job["id"]))
+        assert merged == expected
+
+
+# -- the coordinator ---------------------------------------------------------
+
+class TestFabricCoordinator:
+    def test_three_node_fleet_is_bit_identical_to_direct(
+            self, fleet3, tmp_path):
+        journal = str(tmp_path / "coord.jsonl")
+        summaries, coord = run_fabric_campaign(
+            small_spec(), fleet3.topology(probe_interval=0.2), journal,
+            poll=0.02, steal_after=30.0)
+        assert identical(summaries["transient"], direct_summary())
+        status = coord.status()
+        assert status["completed_experiments"] == EXPERIMENTS
+        assert status["batch_states"] == {"done": status["batches"]}
+        assert status["dispatched"] >= status["batches"]
+        # exactly-once: the compacted journal holds each planned id once
+        campaign = Campaign(embedded=embed_program(SMALL), seed=SEED)
+        plan = plan_campaign(campaign.points, EXPERIMENTS, TRANSIENT,
+                             seed=SEED)
+        records = Journal(journal).load().records
+        assert sorted(records) == sorted(plan.ids)
+        with open(journal) as handle:
+            ids = [json.loads(line)["id"] for line in handle
+                   if '"result"' in line]
+        assert len(ids) == len(set(ids)) == EXPERIMENTS
+
+    def test_node_death_mid_campaign_loses_nothing(self, fleet3, tmp_path):
+        experiments = 48
+        topology = fleet3.topology(probe_interval=0.1, fail_after=1)
+        coordinator = FabricCoordinator(
+            small_spec(experiments=experiments), topology,
+            str(tmp_path / "coord.jsonl"), batch_experiments=4,
+            poll=0.02, steal_after=5.0)
+        failures = []
+
+        def _run():
+            try:
+                coordinator.run(timeout=300)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                failures.append(exc)
+
+        thread = threading.Thread(target=_run)
+        thread.start()
+        deadline = time.monotonic() + 60
+        while coordinator.dispatched < 2 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        fleet3.kill(0)
+        thread.join(timeout=300)
+        assert not thread.is_alive()
+        assert failures == []
+        assert identical(coordinator.summaries["transient"],
+                         direct_summary(experiments=experiments))
+        dead = [p for p in coordinator.status()["peers"] if not p["alive"]]
+        assert [p["url"] for p in dead] == [fleet3.urls[0]]
+
+    def test_resume_reuses_the_journal_without_redispatch(
+            self, fleet3, tmp_path):
+        journal = str(tmp_path / "coord.jsonl")
+        first, _ = run_fabric_campaign(
+            small_spec(), fleet3.topology(), journal, poll=0.02)
+        second, coord = run_fabric_campaign(
+            small_spec(), fleet3.topology(), journal, poll=0.02)
+        assert coord.dispatched == 0  # every batch was already journaled
+        assert identical(second["transient"], first["transient"])
+
+    def test_partial_journal_resumes_only_the_missing_slice(
+            self, fleet3, tmp_path):
+        """Pre-seed half the campaign in the journal; only the rest is
+        dispatched, and the aggregate is still bit-identical."""
+        campaign = Campaign(embedded=embed_program(SMALL), seed=SEED)
+        plan = plan_campaign(campaign.points, EXPERIMENTS, TRANSIENT,
+                             seed=SEED)
+        journal_path = str(tmp_path / "coord.jsonl")
+        journal = Journal(journal_path)
+        journal.ensure_header()
+        journal.register_plan(plan)
+        for exp in plan.experiments[:EXPERIMENTS // 2]:
+            journal.append_result(exp.experiment_id, result_to_record(
+                campaign.run_planned(exp)))
+        journal.close()
+
+        summaries, coord = run_fabric_campaign(
+            small_spec(), fleet3.topology(), journal_path,
+            batch_experiments=EXPERIMENTS // 2, poll=0.02)
+        assert coord.dispatched == 1  # the seeded half never re-dispatches
+        assert identical(summaries["transient"], direct_summary())
+
+    def test_rejects_sliced_specs_and_dead_fleets(self, tmp_path):
+        with pytest.raises(FabricError):
+            FabricCoordinator(
+                small_spec(plan_start=0, plan_stop=4),
+                Topology.from_urls(["http://127.0.0.1:1"]),
+                str(tmp_path / "j.jsonl"))
+        coordinator = FabricCoordinator(
+            small_spec(experiments=4),
+            Topology.from_urls(["http://127.0.0.1:1"], fail_after=1,
+                               probe_interval=0.1, client_timeout=1.0),
+            str(tmp_path / "j2.jsonl"), poll=0.02)
+        with pytest.raises(FabricError):
+            coordinator.run(timeout=1.0)
+
+
+# -- whole-fleet kill test over real processes -------------------------------
+
+def _free_ports(n):
+    sockets = [socket.socket() for _ in range(n)]
+    try:
+        for sock in sockets:
+            sock.bind(("127.0.0.1", 0))
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+def _start_fabric_node(data_dir, port, topology_path):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "fabric", "serve",
+         "--port", str(port), "--data-dir", data_dir,
+         "--topology", topology_path, "--probe-interval", "0.3"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    address_path = os.path.join(data_dir, "server.json")
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if os.path.exists(address_path):
+            try:
+                with open(address_path) as handle:
+                    address = json.load(handle)
+            except ValueError:
+                pass  # torn write; retry
+            else:
+                if address.get("pid") == proc.pid:
+                    return proc, address
+        if proc.poll() is not None:
+            raise AssertionError("fabric node died: %s"
+                                 % proc.stdout.read().decode())
+        time.sleep(0.05)
+    proc.kill()
+    raise AssertionError("fabric node never published its address")
+
+
+@pytest.mark.slow
+class TestKillNodeMidCampaign:
+    def test_sigkill_one_node_completes_exactly_once(self, tmp_path):
+        """The acceptance proof over real processes: three ``fabric
+        serve`` nodes, SIGKILL one mid-campaign, and the coordinator
+        still finishes with every planned experiment id exactly once
+        and quadrants bit-identical to a direct run."""
+        experiments = int(os.environ.get("ARGUS_FABRIC_TEST_EXPERIMENTS",
+                                         "48"))
+        ports = _free_ports(3)
+        topology_path = str(tmp_path / "topology.json")
+        with open(topology_path, "w") as handle:
+            json.dump({"peers": [
+                {"name": "node-%d" % i, "url": "http://127.0.0.1:%d" % p}
+                for i, p in enumerate(ports)]}, handle)
+        procs = []
+        try:
+            for index, port in enumerate(ports):
+                data_dir = str(tmp_path / ("node%d" % index))
+                os.makedirs(data_dir)
+                proc, _addr = _start_fabric_node(data_dir, port,
+                                                 topology_path)
+                procs.append(proc)
+
+            topology = Topology.load(topology_path, probe_interval=0.2,
+                                     fail_after=1, client_timeout=5.0)
+            coordinator = FabricCoordinator(
+                small_spec(experiments=experiments), topology,
+                str(tmp_path / "coord.jsonl"), batch_experiments=4,
+                poll=0.05, steal_after=10.0)
+            failures = []
+
+            def _run():
+                try:
+                    coordinator.run(timeout=600)
+                except Exception as exc:  # noqa: BLE001 - surfaced below
+                    failures.append(exc)
+
+            thread = threading.Thread(target=_run)
+            thread.start()
+            deadline = time.monotonic() + 120
+            while coordinator.dispatched < 3 \
+                    and time.monotonic() < deadline:
+                time.sleep(0.02)
+            os.kill(procs[0].pid, signal.SIGKILL)
+            procs[0].wait(timeout=30)
+            thread.join(timeout=600)
+            assert not thread.is_alive()
+            assert failures == []
+            assert identical(coordinator.summaries["transient"],
+                             direct_summary(experiments=experiments))
+            records = Journal(str(tmp_path / "coord.jsonl")).load().records
+            campaign = Campaign(embedded=embed_program(SMALL), seed=SEED)
+            plan = plan_campaign(campaign.points, experiments, TRANSIENT,
+                                 seed=SEED)
+            assert sorted(records) == sorted(plan.ids)
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.kill()
+                proc.wait(timeout=30)

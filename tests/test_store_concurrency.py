@@ -1,0 +1,196 @@
+"""Concurrency tests for the shared SQLite store and the journal.
+
+The fabric multiplies writers: several schedulers (and processes) may
+share one ``store.sqlite``, and several jobs may interleave appends
+into journals that later get compacted.  These tests pin down the two
+guarantees that federation leans on: concurrent multi-process store
+writes are torn-write-free with exact dedup, and ``Journal.compact()``
+of an interleaved-writer file keeps each experiment id exactly once
+(last record wins).
+"""
+
+import json
+import multiprocessing
+import threading
+
+from repro.runner import Journal
+from repro.service import ResultStore
+from repro.service.store import open_store
+
+KEYS = 40
+PROCESSES = 4
+ROUNDS = 5
+
+
+def _record(key, writer):
+    return {"detected": True, "checker": "parity", "key": key,
+            "writer": writer}
+
+
+def _hammer_store(path, writer, queue):
+    """One writer process: repeatedly upsert every key (worst-case
+    contention: all writers fight over the same rows)."""
+    try:
+        store = open_store(path)
+        stored = 0
+        for _round in range(ROUNDS):
+            stored += store.put_many([
+                ("key-%03d" % index, "transient/%06d" % index,
+                 _record("key-%03d" % index, writer))
+                for index in range(KEYS)])
+            for index in range(0, KEYS, 7):
+                store.put("key-%03d" % index, "transient/%06d" % index,
+                          _record("key-%03d" % index, writer))
+        store.close()
+        queue.put(("ok", writer, stored))
+    except Exception as exc:  # noqa: BLE001 - reported to the parent
+        queue.put(("error", writer, repr(exc)))
+
+
+class TestMultiProcessStore:
+    def test_concurrent_writers_no_torn_writes_exact_dedup(self, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        queue = multiprocessing.Queue()
+        procs = [multiprocessing.Process(
+            target=_hammer_store, args=(path, writer, queue))
+            for writer in range(PROCESSES)]
+        for proc in procs:
+            proc.start()
+        outcomes = [queue.get(timeout=120) for _ in procs]
+        for proc in procs:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+        assert all(kind == "ok" for kind, _w, _n in outcomes), outcomes
+
+        # Exact dedup: across every writer and round, each key was
+        # newly stored exactly once fleet-wide.
+        assert sum(stored for _k, _w, stored in outcomes) == KEYS
+
+        store = open_store(path)
+        assert len(store) == KEYS
+        for index in range(KEYS):
+            record = store.get("key-%03d" % index)
+            # No torn writes: every record is intact, well-formed JSON
+            # written in full by exactly one of the racing writers.
+            assert record is not None
+            assert record["key"] == "key-%03d" % index
+            assert record["writer"] in range(PROCESSES)
+        store.close()
+
+    def test_two_stores_one_file_share_rows_not_counters(self, tmp_path):
+        """Two in-process handles (two schedulers' view) see each
+        other's rows immediately; cache counters stay per-handle."""
+        path = str(tmp_path / "store.sqlite")
+        a, b = open_store(path), open_store(path)
+        assert a.put("k", "t/0", {"x": 1})
+        assert b.get("k") == {"x": 1}
+        assert not b.put("k", "t/0", {"x": 1})  # dedup across handles
+        assert len(a) == len(b) == 1
+        assert a.stats()["hits"] == 0 and b.stats()["hits"] == 1
+        a.close()
+        b.close()
+
+    def test_threaded_writers_single_store_handle(self, tmp_path):
+        """One scheduler's store handle is shared by its job-runner
+        threads; hammer it from several threads at once."""
+        store = ResultStore(str(tmp_path / "store.sqlite"))
+        errors = []
+
+        def _worker(writer):
+            try:
+                for _round in range(ROUNDS):
+                    store.put_many([
+                        ("key-%03d" % index, "transient/%06d" % index,
+                         _record("key-%03d" % index, writer))
+                        for index in range(KEYS)])
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=_worker, args=(writer,))
+                   for writer in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert errors == []
+        assert len(store) == KEYS
+        assert store.inserts == KEYS
+        store.close()
+
+
+class TestJournalInterleavedWriters:
+    def test_compact_interleaved_writers_last_wins_exactly_once(
+            self, tmp_path):
+        """Two journal handles appending to one file (a crashed-and-
+        resumed scheduler re-running in-flight experiments) compact to
+        one record per id, the *last* one winning."""
+        path = str(tmp_path / "journal.jsonl")
+        a = Journal(path).load()
+        b = Journal(path).load()
+        a.ensure_header({"writer": "a"})
+        for index in range(6):
+            a.append_result("transient/%06d" % index, {"writer": "a",
+                                                       "round": 0})
+        # Writer b re-runs a suffix (ids 3..8) with fresher records.
+        for index in range(3, 9):
+            b.append_result("transient/%06d" % index, {"writer": "b",
+                                                       "round": 1})
+        a.append_result("transient/%06d" % 0, {"writer": "a", "round": 2})
+        a.close()
+        b.close()
+        with open(path, "a") as handle:
+            handle.write('{"kind": "result", "id": "torn')  # torn tail
+
+        journal = Journal(path)
+        stats = journal.compact()
+        assert stats["results"] == 9
+        assert stats["duplicates_dropped"] == 4  # ids 0, 3, 4, 5
+        assert stats["torn_dropped"] == 1
+        records = journal.load().records
+        assert len(records) == 9
+        assert records["transient/000000"] == {"writer": "a", "round": 2}
+        for index in range(3, 9):
+            assert records["transient/%06d" % index]["writer"] == "b"
+        # Idempotent: a second compaction changes nothing.
+        again = journal.compact()
+        assert again == {"results": 9, "duplicates_dropped": 0,
+                         "torn_dropped": 0}
+        with open(path) as handle:
+            ids = [json.loads(line)["id"] for line in handle
+                   if '"result"' in line]
+        assert len(ids) == len(set(ids)) == 9
+
+    def test_concurrent_thread_appends_then_compact(self, tmp_path):
+        """Interleaved appends from two live threads (each with its own
+        handle) never corrupt the file: every line stays parseable and
+        compaction converges."""
+        path = str(tmp_path / "journal.jsonl")
+        handles = [Journal(path).load() for _ in range(2)]
+        errors = []
+
+        def _append(journal, writer):
+            try:
+                for index in range(50):
+                    journal.append_result(
+                        "transient/%06d" % index,
+                        {"writer": writer, "index": index})
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=_append, args=(handle, w))
+                   for w, handle in enumerate(handles)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        for handle in handles:
+            handle.close()
+        assert errors == []
+        with open(path) as handle:
+            for line in handle:
+                json.loads(line)  # no torn/interleaved partial lines
+        stats = Journal(path).compact()
+        assert stats["results"] == 50
+        assert stats["duplicates_dropped"] == 50
+        assert sorted(Journal(path).load().records) == \
+            ["transient/%06d" % index for index in range(50)]
