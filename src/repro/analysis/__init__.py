@@ -60,6 +60,14 @@ from repro.analysis.coverage import (
     differential_audit,
 )
 from repro.analysis.lints import run_structural_lints
+from repro.analysis.masking import (
+    MaskingTimeline,
+    TimelineVerdict,
+    audit_timeline,
+    check_dead_writes,
+    compute_liveness,
+    timeline_summary,
+)
 from repro.analysis.signatures import check_entry_dcs, verify_signatures
 from repro.toolchain.segment import MAX_BLOCK_INSNS
 
@@ -83,6 +91,7 @@ def analyze_program(program, expected_entry_dcs=None, check_signatures=True,
         check_entry_dcs(cfg, report, {}, None)
     if dataflow:
         check_dataflow(cfg, report)
+        check_dead_writes(cfg, report)
     return report
 
 
@@ -118,4 +127,10 @@ __all__ = [
     "build_static_coverage_map",
     "audit_coverage_map",
     "differential_audit",
+    "MaskingTimeline",
+    "TimelineVerdict",
+    "compute_liveness",
+    "check_dead_writes",
+    "audit_timeline",
+    "timeline_summary",
 ]

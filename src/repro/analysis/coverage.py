@@ -58,10 +58,9 @@ Outcome semantics (what the differential gate enforces):
   *unmasked* result is a defect.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
-from repro.argus import crc as crc_mod
 from repro.argus import dcs as dcs_mod
 from repro.argus.checkers import ModuloChecker
 from repro.argus.errors import (
@@ -736,11 +735,49 @@ def differential_audit(results, coverage_map):
     return defects
 
 
+def differential_summary(results, coverage_map, disagreements=None):
+    """Aggregate counts for one workload's differential audit.
+
+    ``differential_audit`` reports per-point disagreements;
+    CI artifacts need stable per-workload *counts* so two runs can be
+    diffed without parsing free text.  Returns a JSON-ready dict:
+    experiments compared, experiments per static outcome class, quadrant
+    counts, checker attributions, and the disagreement total (plus the
+    formatted disagreements themselves, capped upstream if needed).
+    ``disagreements`` takes a precomputed ``differential_audit`` result
+    to avoid re-walking; None recomputes.
+    """
+    if disagreements is None:
+        disagreements = differential_audit(results, coverage_map)
+    by_outcome = {}
+    by_quadrant = {}
+    by_checker = {}
+    unclassified = 0
+    for result in results:
+        entry = coverage_map.lookup(result.spec)
+        if entry is None:
+            unclassified += 1
+        else:
+            by_outcome[entry.outcome] = by_outcome.get(entry.outcome, 0) + 1
+        by_quadrant[result.quadrant] = by_quadrant.get(result.quadrant, 0) + 1
+        if result.detected:
+            by_checker[result.checker] = by_checker.get(result.checker, 0) + 1
+    return {
+        "experiments": len(results),
+        "by_static_outcome": dict(sorted(by_outcome.items())),
+        "by_quadrant": dict(sorted(by_quadrant.items())),
+        "by_checker": dict(sorted(by_checker.items())),
+        "unclassified": unclassified,
+        "disagreements": len(disagreements),
+        "disagreement_details": [d.format() for d in disagreements],
+    }
+
+
 __all__ = [
     "DETECTED", "ALIASED", "BLIND", "MASKED", "UNKNOWN", "OUTCOMES",
     "ALGEBRAIC", "CONDITIONAL",
     "REFINEMENT_MAP", "ALIASING_BOUNDS", "EXERCISE_REQUIREMENTS",
     "ExerciseProfile", "PointCoverage", "StaticCoverageMap",
     "classify_point", "build_static_coverage_map", "audit_coverage_map",
-    "Disagreement", "differential_audit",
+    "Disagreement", "differential_audit", "differential_summary",
 ]

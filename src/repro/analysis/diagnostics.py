@@ -46,6 +46,11 @@ CODES = {
                       "the coverage audit"),
     "ARG017": (ERROR, "ideal-checker condition with no concrete checker "
                       "refinement"),
+    # -- masking timelines (repro.analysis.masking) ----------------------
+    "ARG018": (WARNING, "dead write: register written but provably "
+                        "overwritten before any read on every path"),
+    "ARG019": (ERROR, "masking-timeline verdict contradicts the per-point "
+                      "coverage-audit class"),
 }
 
 

@@ -266,12 +266,13 @@ def cmd_lint(args):
 
 
 def _audit_targets(args):
-    """Yield (name, coverage-map-or-None, failure-message-or-None).
+    """Yield (name, coverage-map-or-None, embedded-or-None, failure-or-None).
 
     With no inputs at all the audit runs once over the full injection
     population under the every-instruction-class-exercised profile - the
     paper-level claim; per-workload maps reclassify signals that
-    workload provably never drives.
+    workload provably never drives.  The embedded binary rides along so
+    ``--timeline`` can replay the golden run without re-embedding.
     """
     from repro.analysis.coverage import build_static_coverage_map
     from repro.toolchain import EmbedError
@@ -279,7 +280,7 @@ def _audit_targets(args):
 
     targets = list(iter_analysis_targets(args.inputs, args.all_workloads))
     if not targets:
-        yield "<population>", build_static_coverage_map(), None
+        yield "<population>", build_static_coverage_map(), None, None
         return
     for name, workload in targets:
         try:
@@ -290,14 +291,25 @@ def _audit_targets(args):
             else:
                 embedded = embed_program(_read_source(name))
         except (OSError, EmbedError, ValueError) as exc:
-            yield name, None, "%s: %s" % (type(exc).__name__, exc)
+            yield name, None, None, "%s: %s" % (type(exc).__name__, exc)
             continue
-        yield name, build_static_coverage_map(embedded), None
+        yield name, build_static_coverage_map(embedded), embedded, None
+
+
+def _audit_timeline(embedded, coverage_map, report):
+    """Replay the golden run, cross-check timeline verdicts against the
+    audit classes (ARG019 into ``report``), and return summary stats."""
+    from repro.analysis.masking import audit_timeline, timeline_summary
+    from repro.faults.campaign import Campaign
+
+    timeline = Campaign(embedded=embedded).timeline()
+    audit_timeline(timeline, coverage_map, report)
+    return timeline_summary(timeline, coverage_map)
 
 
 def cmd_audit(args):
     """Static checker-coverage audit: classify every injection point
-    analytically and lint the result (ARG014-ARG017)."""
+    analytically and lint the result (ARG014-ARG019)."""
     import json
 
     from repro.analysis.coverage import OUTCOMES, audit_coverage_map
@@ -305,7 +317,7 @@ def cmd_audit(args):
     failed_load = False
     failed_audit = False
     results = []
-    for name, coverage_map, failure in _audit_targets(args):
+    for name, coverage_map, embedded, failure in _audit_targets(args):
         if coverage_map is None:
             failed_load = True
             results.append({"target": str(name), "ok": False,
@@ -314,10 +326,15 @@ def cmd_audit(args):
                 print("%s: FAILED to load/embed: %s" % (name, failure))
             continue
         report = audit_coverage_map(coverage_map)
+        timeline_stats = None
+        if args.timeline and embedded is not None:
+            timeline_stats = _audit_timeline(embedded, coverage_map, report)
         if not report.ok:
             failed_audit = True
         entry = {"target": str(name), **coverage_map.to_dict(),
                  "audit": report.to_dict()}
+        if timeline_stats is not None:
+            entry["timeline"] = timeline_stats
         results.append(entry)
         if args.format == "text":
             counts = coverage_map.outcome_counts()
@@ -337,6 +354,16 @@ def cmd_audit(args):
                     print("  %-24s %-22s by=%-20s %5d pts  %6.3f%% wt"
                           % (label, row["outcome"], owner, row["points"],
                              100 * row["weight"] / total))
+            if timeline_stats is not None:
+                for duration, stats in timeline_stats.items():
+                    if duration == "times":
+                        continue
+                    print("  timeline[%s]: %d probes  complete %.1f%%  "
+                          "partial %.1f%%  unknown %.1f%%"
+                          % (duration, stats["probes"],
+                             100 * stats["complete_fraction"],
+                             100 * stats["partial"] / (stats["probes"] or 1),
+                             100 * stats["unknown"] / (stats["probes"] or 1)))
             for diagnostic in report.diagnostics:
                 print("  " + diagnostic.format())
     if args.format == "json":
@@ -401,7 +428,9 @@ def cmd_campaign(args):
                  else (args.duration,))
     campaign = Campaign(seed=args.seed,
                         use_checkpoints=not args.no_checkpoints,
-                        checkpoint_interval=args.checkpoint_interval)
+                        checkpoint_interval=args.checkpoint_interval,
+                        hybrid=args.hybrid,
+                        spot_check_rate=args.spot_check_rate)
     sinks = []
     if not args.quiet:
         sinks.append(StderrTelemetry())
@@ -415,7 +444,8 @@ def cmd_campaign(args):
         telemetry = TeeTelemetry(*sinks)
     if args.audit:
         from repro.analysis.coverage import (
-            build_static_coverage_map, differential_audit)
+            build_static_coverage_map, differential_audit,
+            differential_summary)
         coverage_map = build_static_coverage_map(campaign.embedded,
                                                  points=campaign.points)
     defects = []
@@ -442,12 +472,30 @@ def cmd_campaign(args):
             "unmasked_coverage": summary.unmasked_coverage,
             "masked_detection_rate": summary.masked_detection_rate,
         }
+        if args.hybrid:
+            print("  hybrid: executed %d | synthesized %d full + %d partial "
+                  "| spot-checks %d | runs saved %d" % (
+                      summary.executed, summary.synthesized_full,
+                      summary.synthesized_partial, summary.spot_checks,
+                      summary.runs_saved))
+            dump[duration]["hybrid"] = {
+                "executed": summary.executed,
+                "synthesized_full": summary.synthesized_full,
+                "synthesized_partial": summary.synthesized_partial,
+                "spot_checks": summary.spot_checks,
+                "runs_saved": summary.runs_saved,
+            }
+            dump[duration]["quadrant_intervals"] = {
+                quadrant: list(bounds) for quadrant, bounds
+                in summary.quadrant_intervals().items()}
         if args.audit:
             found = differential_audit(summary.results, coverage_map)
             defects.extend(found)
             print("  differential audit: %d disagreement(s)" % len(found))
             for defect in found:
                 print("    " + defect.format())
+            dump[duration]["differential_audit"] = differential_summary(
+                summary.results, coverage_map, disagreements=found)
             dump[duration]["audit_disagreements"] = [
                 defect.format() for defect in found]
     telemetry.close()
@@ -550,6 +598,14 @@ def _print_job(job):
                   100 * fractions["unmasked_detected"],
                   100 * fractions["masked_undetected"],
                   100 * fractions["masked_detected"]))
+        hybrid = summary.get("hybrid")
+        if hybrid and (hybrid["synthesized_full"]
+                       or hybrid["synthesized_partial"]):
+            print("    hybrid: executed %d | synthesized %d full + %d "
+                  "partial | spot-checks %d | runs saved %d" % (
+                      hybrid["executed"], hybrid["synthesized_full"],
+                      hybrid["synthesized_partial"], hybrid["spot_checks"],
+                      hybrid["runs_saved"]))
     if job.get("error"):
         print("  error: %s" % job["error"])
 
@@ -566,6 +622,9 @@ def cmd_submit(args):
         spec["workload"] = args.workload
     if args.no_checkpoints:
         spec["use_checkpoints"] = False
+    if args.hybrid:
+        spec["hybrid"] = True
+        spec["spot_check_rate"] = args.spot_check_rate
     client = _service_client(args)
     try:
         job = client.submit(spec)
@@ -778,6 +837,10 @@ def build_parser():
     p.add_argument("--format", default="text", choices=("text", "json"))
     p.add_argument("--classes", action="store_true",
                    help="print the per-signal-class breakdown")
+    p.add_argument("--timeline", action="store_true",
+                   help="also replay the golden run and cross-check "
+                        "per-(point, time) masking-timeline verdicts "
+                        "against the audit classes (ARG019)")
     p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser("run", help="execute an object or source file")
@@ -854,6 +917,14 @@ def build_parser():
     p.add_argument("--audit", action="store_true",
                    help="cross-check every result against the static "
                         "coverage map; any disagreement exits 1")
+    p.add_argument("--hybrid", action="store_true",
+                   help="analytic-hybrid mode: synthesize outcomes the "
+                        "masking timeline proves, execute only the "
+                        "genuinely uncertain axes")
+    p.add_argument("--spot-check-rate", type=float, default=0.05,
+                   help="fraction of provable experiments still executed "
+                        "and differenced against their proofs "
+                        "(default: 0.05)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress live progress telemetry on stderr")
     p.set_defaults(func=cmd_campaign)
@@ -900,6 +971,9 @@ def build_parser():
     p.add_argument("--priority", type=int, default=0,
                    help="higher runs first")
     p.add_argument("--no-checkpoints", action="store_true")
+    p.add_argument("--hybrid", action="store_true",
+                   help="run the job in analytic-hybrid mode")
+    p.add_argument("--spot-check-rate", type=float, default=0.05)
     p.add_argument("--wait", action="store_true",
                    help="block until the job finishes and print its summary")
     p.add_argument("--timeout", type=float, default=3600.0,

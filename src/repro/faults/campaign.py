@@ -32,9 +32,23 @@ from repro.faults.points import build_point_population, sample_points
 from repro.faults.stress import build_stress_program
 
 
+class HybridSoundnessError(AssertionError):
+    """A hybrid spot-check caught a timeline verdict disagreeing with a
+    full simulation run - the static analyzer (or the simulator) is
+    wrong, and no further synthesis can be trusted."""
+
+
 @dataclass
 class ExperimentResult:
-    """Classified outcome of one fault-injection experiment."""
+    """Classified outcome of one fault-injection experiment.
+
+    ``synthesized`` names the axes a hybrid campaign took from the
+    static masking timeline instead of simulation (``"both:<rule>"``,
+    ``"masking:<rule>"`` or ``"detection:<rule>"``; empty = fully
+    executed).  ``spot_check`` marks a fully-executed experiment that
+    also verified its timeline verdict.  Synthesized detections carry no
+    latencies (the proof pins the outcome, not the cycle count).
+    """
 
     spec: object
     duration: str  # transient | permanent
@@ -48,6 +62,8 @@ class ExperimentResult:
     latency_cycles: Optional[int] = None
     latency_blocks: Optional[int] = None
     hung: bool = False
+    synthesized: str = ""  # axes taken from the masking timeline
+    spot_check: bool = False  # executed *and* verified against the timeline
 
     @property
     def silent(self):
@@ -81,6 +97,10 @@ class CampaignSummary:
     checker_counts: dict = field(default_factory=dict)
     results: list = field(default_factory=list)
     keep_results: bool = True
+    executed: int = 0  # both axes simulated
+    synthesized_full: int = 0  # both axes proven (0 simulation runs)
+    synthesized_partial: int = 0  # one axis proven (1 simulation run)
+    spot_checks: int = 0  # executed experiments that verified a verdict
 
     def add(self, result):
         self.total += 1
@@ -89,6 +109,15 @@ class CampaignSummary:
             self.checker_counts[result.checker] = (
                 self.checker_counts.get(result.checker, 0) + 1
             )
+        tag = result.synthesized
+        if tag.startswith("both:"):
+            self.synthesized_full += 1
+        elif tag:
+            self.synthesized_partial += 1
+        else:
+            self.executed += 1
+        if result.spot_check:
+            self.spot_checks += 1
         if self.keep_results:
             self.results.append(result)
 
@@ -98,16 +127,41 @@ class CampaignSummary:
             raise ValueError("cannot merge %r summary into %r"
                              % (other.duration, self.duration))
         self.total += other.total
-        for quadrant in ("unmasked_undetected", "unmasked_detected",
-                         "masked_undetected", "masked_detected"):
-            setattr(self, quadrant,
-                    getattr(self, quadrant) + getattr(other, quadrant))
+        for counter in ("unmasked_undetected", "unmasked_detected",
+                        "masked_undetected", "masked_detected", "executed",
+                        "synthesized_full", "synthesized_partial",
+                        "spot_checks"):
+            setattr(self, counter,
+                    getattr(self, counter) + getattr(other, counter))
         for checker, count in other.checker_counts.items():
             self.checker_counts[checker] = (
                 self.checker_counts.get(checker, 0) + count)
         if self.keep_results:
             self.results.extend(other.results)
         return self
+
+    @property
+    def runs_saved(self):
+        """Simulation runs a hybrid campaign did not have to execute
+        (each experiment normally costs one masking + one detection run)."""
+        return 2 * self.synthesized_full + self.synthesized_partial
+
+    def quadrant_intervals(self):
+        """Per-quadrant ``[lo, hi]`` count bounds.
+
+        Every synthesized axis is a deterministic theorem about the
+        machine (and the spot-check budget re-verifies a random sample
+        of them against full simulation), so hybrid quadrant counts are
+        exact - the intervals are tight, and a hybrid campaign's
+        aggregates must *equal* the full-simulation aggregates for the
+        same plan.  The method exists so report consumers state their
+        tolerance explicitly instead of assuming it.
+        """
+        return {
+            quadrant: (getattr(self, quadrant), getattr(self, quadrant))
+            for quadrant in ("unmasked_undetected", "unmasked_detected",
+                             "masked_undetected", "masked_detected")
+        }
 
     def fractions(self):
         """Quadrant fractions (of all injections), as Table 1 reports."""
@@ -148,11 +202,25 @@ class Campaign:
     ``use_checkpoints=False`` as the escape hatch (or ``--no-checkpoints``
     on the CLI); ``checkpoint_interval`` / ``max_checkpoints`` tune the
     memory/speed trade-off (see :mod:`repro.faults.checkpoint`).
+
+    ``hybrid`` (default off) switches to analytic-hybrid execution: each
+    experiment first consults the static masking timeline
+    (:class:`repro.analysis.masking.MaskingTimeline`) for its exact
+    (point, injection-time, duration); axes the timeline *proves* are
+    synthesized, only genuinely uncertain axes are simulated.  A
+    ``spot_check_rate`` fraction of experiments is fully simulated
+    regardless and cross-checked against its verdict -
+    :class:`HybridSoundnessError` on any disagreement.  Classification
+    is identical to full simulation by construction (the proofs are
+    theorems, re-proven differentially in ``tests/test_masking.py``);
+    only detection-latency fields degrade to ``None`` on synthesized
+    detections.
     """
 
     def __init__(self, embedded=None, seed=0, run_slack=1.25,
                  include_double_bits=True, use_checkpoints=True,
-                 checkpoint_interval=None, max_checkpoints=None):
+                 checkpoint_interval=None, max_checkpoints=None,
+                 hybrid=False, spot_check_rate=0.05):
         self.embedded = embedded if embedded is not None else build_stress_program()
         self.seed = seed
         self.rng = random.Random(seed)
@@ -161,6 +229,12 @@ class Campaign:
         self.use_checkpoints = use_checkpoints
         self.checkpoint_interval = checkpoint_interval
         self.max_checkpoints = max_checkpoints
+        self.hybrid = hybrid
+        self.spot_check_rate = spot_check_rate
+        # A dedicated spot-check stream keeps self.rng's draw sequence
+        # (and with it every inject_at) identical with hybrid on or off.
+        self._spot_rng = random.Random("argus-hybrid-spot/%d" % seed)
+        self._timeline = None
         self._golden = None
         self._golden_final = None
         self._checkpoints = None
@@ -205,6 +279,16 @@ class Campaign:
         """The golden run's CheckpointStore (None when disabled)."""
         self.golden_trace()
         return self._checkpoints
+
+    def timeline(self):
+        """The workload's :class:`~repro.analysis.masking.MaskingTimeline`
+        (built lazily from the golden trace, computed once)."""
+        if self._timeline is None:
+            from repro.analysis.masking import MaskingTimeline
+
+            self._timeline = MaskingTimeline(self.embedded.program,
+                                             self.golden_trace())
+        return self._timeline
 
     @property
     def golden_length(self):
@@ -328,10 +412,17 @@ class Campaign:
         return False, None, False
 
     def run_experiment(self, spec, duration, inject_at=None):
-        """Run both phases for one fault; returns an ExperimentResult."""
+        """Run (or, in hybrid mode, prove) one fault's classification."""
         golden = self.golden_trace()
         if inject_at is None:
             inject_at = self.rng.randrange(0, max(int(len(golden) * 0.85), 1))
+        if self.hybrid:
+            spot = self._spot_rng.random() < self.spot_check_rate
+            return self._run_hybrid(spec, duration, inject_at, spot)
+        return self._execute(spec, duration, inject_at)
+
+    def _execute(self, spec, duration, inject_at):
+        """Run both simulation phases; returns an ExperimentResult."""
         masked, activated_at, hung1 = self._masking_run(spec, duration, inject_at)
         detected, info, hung2 = self._detection_run(spec, duration, inject_at)
         checker = None
@@ -359,18 +450,106 @@ class Campaign:
             hung=hung1 or hung2,
         )
 
+    def _run_hybrid(self, spec, duration, inject_at, spot):
+        """Synthesize proven axes from the timeline, simulate the rest.
+
+        ``spot`` forces a full simulation whose outcome is then compared
+        against every proven axis - the runtime arm of the soundness
+        argument (the static arm is the differential property suite).
+        """
+        verdict = self.timeline().verdict(spec, duration=duration,
+                                          inject_at=inject_at)
+        if spot or not (verdict.masked is not None or
+                        verdict.detected is not None):
+            result = self._execute(spec, duration, inject_at)
+            if spot:
+                self._check_verdict(verdict, result)
+                result.spot_check = True
+            return result
+        if verdict.complete:
+            return ExperimentResult(
+                spec=spec, duration=duration, inject_at=inject_at,
+                masked=verdict.masked, detected=verdict.detected,
+                checker=verdict.checker if verdict.detected else None,
+                detail="synthesized: %s" % verdict.rule,
+                hung=verdict.rule == "hang",
+                synthesized="both:%s" % verdict.rule)
+        if verdict.masked is None:
+            # Detection axis proven; only the masking run executes.
+            masked, activated_at, hung = self._masking_run(
+                spec, duration, inject_at)
+            return ExperimentResult(
+                spec=spec, duration=duration, inject_at=inject_at,
+                masked=masked, detected=verdict.detected,
+                checker=verdict.checker if verdict.detected else None,
+                detail="synthesized detection: %s" % verdict.rule,
+                activated_at=activated_at, hung=hung,
+                synthesized="detection:%s" % verdict.rule)
+        # Masking axis proven; only the detection run executes.
+        detected, info, hung = self._detection_run(spec, duration, inject_at)
+        checker = None
+        detail = "synthesized masking: %s" % verdict.rule
+        lat_i = lat_c = lat_b = None
+        if detected:
+            event, latency = info
+            checker = event.checker
+            detail = event.detail
+            lat_i = latency["instructions"]
+            lat_c = latency["cycles"]
+            lat_b = latency["blocks"]
+        return ExperimentResult(
+            spec=spec, duration=duration, inject_at=inject_at,
+            masked=verdict.masked, detected=detected, checker=checker,
+            detail=detail, latency_instructions=lat_i,
+            latency_cycles=lat_c, latency_blocks=lat_b, hung=hung,
+            synthesized="masking:%s" % verdict.rule)
+
+    def _check_verdict(self, verdict, result):
+        """Raise HybridSoundnessError if an executed result contradicts
+        any proven axis of its timeline verdict."""
+        problems = []
+        if verdict.masked is not None and result.masked != verdict.masked:
+            problems.append("masked=%s proven %s (rule %s)"
+                            % (result.masked, verdict.masked, verdict.rule))
+        if verdict.detected is not None and result.detected != verdict.detected:
+            problems.append("detected=%s proven %s (rule %s)"
+                            % (result.detected, verdict.detected, verdict.rule))
+        if (verdict.detected and verdict.checker is not None
+                and result.detected and result.checker != verdict.checker):
+            problems.append("checker=%s proven %s (rule %s)"
+                            % (result.checker, verdict.checker, verdict.rule))
+        if problems:
+            raise HybridSoundnessError(
+                "spot-check mismatch for %s %s at %d: %s"
+                % (result.spec, result.duration, result.inject_at,
+                   "; ".join(problems)))
+
+    def _planned_spot(self, planned):
+        """Spot-check decision for a planned experiment.
+
+        Derived from the experiment's own seed through a separate stream
+        (never the one that draws ``inject_at``), so the decision - like
+        everything else on the planned path - is identical for any
+        worker count and across journal resumes.
+        """
+        spot_rng = random.Random("argus-hybrid-spot/%d" % planned.seed)
+        return spot_rng.random() < self.spot_check_rate
+
     def run_planned(self, planned):
         """Run one :class:`~repro.runner.plan.PlannedExperiment`.
 
-        Every random choice (the injection instruction index) comes from
-        the experiment's own derived seed, never from the campaign's
-        shared stream, so the outcome depends only on the experiment's
-        identity - the keystone of worker-count-independent results.
+        Every random choice (the injection instruction index and the
+        hybrid spot-check decision) comes from the experiment's own
+        derived seed, never from the campaign's shared streams, so the
+        outcome depends only on the experiment's identity - the keystone
+        of worker-count-independent results.
         """
         rng = random.Random(planned.seed)
         inject_at = rng.randrange(0, max(int(self.golden_length * 0.85), 1))
-        return self.run_experiment(planned.spec, planned.duration,
-                                   inject_at=inject_at)
+        if self.hybrid:
+            return self._run_hybrid(planned.spec, planned.duration,
+                                    inject_at, self._planned_spot(planned))
+        return self._execute(planned.spec, planned.duration, inject_at)
 
     # -- whole campaign ------------------------------------------------------
     def run(self, experiments=1000, duration=TRANSIENT, progress=None,

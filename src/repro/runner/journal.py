@@ -33,6 +33,14 @@ _RESULT_FIELDS = (
     "latency_blocks", "hung",
 )
 
+#: Fields added after journal version 1 shipped; absent in old journals
+#: (and in records produced by old writers), so reads fall back to the
+#: default instead of raising.
+_RESULT_DEFAULTS = {
+    "synthesized": "",
+    "spot_check": False,
+}
+
 
 class JournalError(ValueError):
     """A journal cannot be (re)used as requested."""
@@ -45,6 +53,10 @@ class JournalMismatch(JournalError):
 def result_to_record(result):
     """Serialize an ExperimentResult to a JSON-ready dict."""
     record = {field: getattr(result, field) for field in _RESULT_FIELDS}
+    for field, default in _RESULT_DEFAULTS.items():
+        value = getattr(result, field)
+        if value != default:  # keep pre-hybrid records byte-identical
+            record[field] = value
     spec = result.spec
     record["spec"] = None if spec is None else {
         "target": spec.target,
@@ -63,8 +75,10 @@ def record_to_result(record):
     if spec is not None:
         spec = FaultSpec(target=spec["target"], mask=spec["mask"],
                          index=spec["index"], is_state=spec["is_state"])
-    return ExperimentResult(
-        spec=spec, **{field: record[field] for field in _RESULT_FIELDS})
+    fields = {field: record[field] for field in _RESULT_FIELDS}
+    fields.update({field: record.get(field, default)
+                   for field, default in _RESULT_DEFAULTS.items()})
+    return ExperimentResult(spec=spec, **fields)
 
 
 def record_quadrant(record):

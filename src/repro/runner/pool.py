@@ -45,7 +45,8 @@ def _campaign_config(campaign):
     experiment it runs warm-starts from it.
     """
     return (campaign.embedded, campaign.run_slack, campaign.use_checkpoints,
-            campaign.checkpoint_interval, campaign.max_checkpoints)
+            campaign.checkpoint_interval, campaign.max_checkpoints,
+            campaign.hybrid, campaign.spot_check_rate)
 
 
 def _init_worker(config):
@@ -55,13 +56,16 @@ def _init_worker(config):
     from repro.faults.campaign import Campaign
 
     (embedded, run_slack, use_checkpoints,
-     checkpoint_interval, max_checkpoints) = config
+     checkpoint_interval, max_checkpoints, hybrid, spot_check_rate) = config
     _WORKER_CAMPAIGN = Campaign(
         embedded=embedded, run_slack=run_slack,
         use_checkpoints=use_checkpoints,
         checkpoint_interval=checkpoint_interval,
-        max_checkpoints=max_checkpoints)
+        max_checkpoints=max_checkpoints,
+        hybrid=hybrid, spot_check_rate=spot_check_rate)
     _WORKER_CAMPAIGN.golden_trace()
+    if hybrid:
+        _WORKER_CAMPAIGN.timeline()
 
 
 def _run_batch(batch):

@@ -132,10 +132,18 @@ class CampaignSpec:
     priority: int = 0
     plan_start: Optional[int] = None
     plan_stop: Optional[int] = None
+    # Analytic-hybrid execution.  Content-key-neutral by construction:
+    # experiment keys hash the binary digest + fault spec + derived seed
+    # (see store.plan_keys), never these knobs - and hybrid runs never
+    # *store* synthesized or spot-check records, so the shared cache
+    # only ever holds full-simulation results either mode can consume.
+    hybrid: bool = False
+    spot_check_rate: float = 0.05
 
     _FIELDS = ("workload", "source", "experiments", "duration", "seed",
                "run_slack", "include_double_bits", "use_checkpoints",
-               "checkpoint_interval", "priority", "plan_start", "plan_stop")
+               "checkpoint_interval", "priority", "plan_start", "plan_stop",
+               "hybrid", "spot_check_rate")
 
     @classmethod
     def from_dict(cls, payload):
@@ -174,6 +182,11 @@ class CampaignSpec:
             raise SpecError("run_slack must be a positive number")
         if not isinstance(self.priority, int):
             raise SpecError("priority must be an int")
+        if not isinstance(self.hybrid, bool):
+            raise SpecError("hybrid must be a bool")
+        if not isinstance(self.spot_check_rate, (int, float)) \
+                or not 0.0 <= self.spot_check_rate <= 1.0:
+            raise SpecError("spot_check_rate must be a number in [0, 1]")
         if (self.plan_start is None) != (self.plan_stop is None):
             raise SpecError("plan_start and plan_stop go together")
         if self.plan_start is not None:
@@ -218,7 +231,9 @@ class CampaignSpec:
                         run_slack=self.run_slack,
                         include_double_bits=self.include_double_bits,
                         use_checkpoints=self.use_checkpoints,
-                        checkpoint_interval=self.checkpoint_interval)
+                        checkpoint_interval=self.checkpoint_interval,
+                        hybrid=self.hybrid,
+                        spot_check_rate=self.spot_check_rate)
 
 
 def _summary_to_dict(summary):
@@ -235,7 +250,27 @@ def _summary_to_dict(summary):
         "checker_counts": dict(summary.checker_counts),
         "unmasked_coverage": summary.unmasked_coverage,
         "masked_detection_rate": summary.masked_detection_rate,
+        "hybrid": {
+            "executed": summary.executed,
+            "synthesized_full": summary.synthesized_full,
+            "synthesized_partial": summary.synthesized_partial,
+            "spot_checks": summary.spot_checks,
+            "runs_saved": summary.runs_saved,
+        },
+        "quadrant_intervals": {
+            quadrant: list(bounds)
+            for quadrant, bounds in summary.quadrant_intervals().items()
+        },
     }
+
+
+def _storable(record):
+    """Only full-simulation results enter the shared content-addressed
+    store: synthesized records carry proof tags instead of latencies,
+    and spot-check records carry their verification flag - neither is
+    the neutral record a non-hybrid consumer of the same key expects.
+    """
+    return not record.get("synthesized") and not record.get("spot_check")
 
 
 @dataclass
@@ -556,7 +591,8 @@ class JobScheduler:
         if done:
             # A resumed job's finished work also feeds the shared cache.
             self.store.put_many([(keys[eid], eid, journal.records[eid])
-                                 for eid in done])
+                                 for eid in done
+                                 if _storable(journal.records[eid])])
         with self._lock:
             job.resumed += len(done)
             job.completed += len(done)
@@ -601,7 +637,8 @@ class JobScheduler:
 
         def commit(experiment_id, record):
             journal.append_result(experiment_id, record)
-            self.store.put(keys[experiment_id], experiment_id, record)
+            if _storable(record):
+                self.store.put(keys[experiment_id], experiment_id, record)
             with self._lock:
                 job.executed += 1
                 job.completed += 1

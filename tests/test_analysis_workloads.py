@@ -31,7 +31,10 @@ def test_fuzz_corpus_lints_clean(seed):
     embedded = embed_program(generate_program(seed))
     report = analyze_embedded(embedded)
     assert report.ok, report.render_text()
-    assert not report.warnings, report.render_text()
+    # Randomly generated ALU soup legitimately contains dead writes, so
+    # ARG018 is expected here; every other warning still fails the gate.
+    warnings = [w for w in report.warnings if w.code != "ARG018"]
+    assert not warnings, report.render_text()
 
 
 def test_lint_cli_all_workloads_clean(capsys):

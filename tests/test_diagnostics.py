@@ -1,0 +1,108 @@
+"""Unit tests for the diagnostic framework (:mod:`repro.analysis.diagnostics`)."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    CODES,
+    ERROR,
+    WARNING,
+    AnalysisReport,
+    Diagnostic,
+)
+
+
+class TestRegistry:
+    def test_codes_are_append_only_through_arg019(self):
+        # The registry is the contract with the CLI and the docs; the
+        # masking-timeline lints must be registered with their severities.
+        for code in ("ARG%03d" % n for n in range(1, 20)):
+            assert code in CODES
+        assert CODES["ARG018"][0] == WARNING
+        assert CODES["ARG019"][0] == ERROR
+
+    def test_registry_entries_are_well_formed(self):
+        for code, (severity, summary) in CODES.items():
+            assert code.startswith("ARG") and len(code) == 6
+            assert severity in (ERROR, WARNING)
+            assert summary and summary[0].islower()
+
+    def test_unknown_code_rejected(self):
+        report = AnalysisReport()
+        with pytest.raises(ValueError):
+            report.add("ARG999", "no such code")
+
+
+class TestDiagnostic:
+    def test_format_with_address_and_block(self):
+        d = Diagnostic(severity=ERROR, code="ARG007", message="mid-block",
+                       address=0x40, block=0x20)
+        assert d.format() == "error[ARG007] at 0x40 (block 0x20): mid-block"
+
+    def test_format_block_only(self):
+        d = Diagnostic(severity=WARNING, code="ARG005", message="unreachable",
+                       block=0x80)
+        assert d.format() == "warning[ARG005] (block 0x80): unreachable"
+
+    def test_format_block_equals_address_collapses(self):
+        d = Diagnostic(severity=ERROR, code="ARG001", message="bad word",
+                       address=0x80, block=0x80)
+        assert d.format() == "error[ARG001] at 0x80: bad word"
+
+    def test_to_dict_omits_absent_locations(self):
+        d = Diagnostic(severity=ERROR, code="ARG004", message="falls through")
+        assert d.to_dict() == {"severity": ERROR, "code": "ARG004",
+                               "message": "falls through"}
+
+    def test_frozen(self):
+        d = Diagnostic(severity=ERROR, code="ARG001", message="x")
+        with pytest.raises(Exception):
+            d.severity = WARNING
+
+
+class TestAnalysisReport:
+    def test_severity_defaults_from_registry(self):
+        report = AnalysisReport()
+        report.add("ARG018", "dead write")
+        report.add("ARG019", "contradiction")
+        assert report.diagnostics[0].severity == WARNING
+        assert report.diagnostics[1].severity == ERROR
+
+    def test_severity_override(self):
+        report = AnalysisReport()
+        report.add("ARG005", "promoted", severity=ERROR)
+        assert report.diagnostics[0].severity == ERROR
+        assert not report.ok
+
+    def test_ok_tolerates_warnings(self):
+        report = AnalysisReport()
+        report.add("ARG018", "dead write", address=0x10, block=0x0)
+        assert report.ok
+        assert report.warnings and not report.errors
+        report.add("ARG019", "contradiction")
+        assert not report.ok
+
+    def test_codes_and_by_code(self):
+        report = AnalysisReport()
+        report.add("ARG018", "one")
+        report.add("ARG018", "two")
+        report.add("ARG016", "orphan")
+        assert report.codes() == {"ARG016", "ARG018"}
+        assert [d.message for d in report.by_code("ARG018")] == ["one", "two"]
+
+    def test_render_text_summary_line(self):
+        report = AnalysisReport()
+        report.add("ARG019", "contradiction")
+        report.add("ARG018", "dead write")
+        text = report.render_text()
+        assert text.splitlines()[-1] == "1 error(s), 1 warning(s)"
+
+    def test_render_json_round_trips(self):
+        report = AnalysisReport()
+        report.add("ARG018", "dead write", address=0x44)
+        payload = json.loads(report.render_json())
+        assert payload["ok"] is True
+        assert payload["warnings"] == 1
+        assert payload["diagnostics"][0]["code"] == "ARG018"
+        assert payload["diagnostics"][0]["address"] == 0x44

@@ -1,0 +1,267 @@
+"""Tests for analytic-hybrid campaigns (``Campaign(hybrid=True)``).
+
+A hybrid campaign synthesizes every axis the masking timeline proves
+and simulates only the rest, so its aggregates must be *bit-identical*
+to a full-simulation campaign over the same plan - there is no
+tolerance to tune.  These tests pin that equality, the spot-check
+machinery, the journal serialization compatibility, and the service
+spec plumbing.
+"""
+
+import pytest
+
+from repro.faults.campaign import (
+    Campaign,
+    CampaignSummary,
+    ExperimentResult,
+    HybridSoundnessError,
+)
+from repro.faults.model import PERMANENT, TRANSIENT, FaultSpec
+from repro.runner.journal import record_to_result, result_to_record
+from repro.toolchain import embed_program
+from repro.workloads import WORKLOADS
+
+SMALL = """
+start:  li   r1, 6
+        li   r2, 0
+        la   r6, buf
+loop:   add  r2, r2, r1
+        sw   r2, 0(r6)
+        addi r1, r1, -1
+        sfgtsi r1, 0
+        bf   loop
+        nop
+        mul  r3, r2, r2
+        sw   r3, 4(r6)
+        halt
+        .data
+buf:    .word 0, 0
+"""
+
+
+def _small_campaign(hybrid, **kwargs):
+    return Campaign(embedded=embed_program(SMALL), seed=5, hybrid=hybrid,
+                    **kwargs)
+
+
+def _assert_identical(full, hybrid):
+    assert hybrid.total == full.total
+    assert hybrid.fractions() == full.fractions()
+    assert hybrid.checker_counts == full.checker_counts
+    for quadrant, (lo, hi) in hybrid.quadrant_intervals().items():
+        assert lo == hi == getattr(full, quadrant)
+
+
+class TestHybridEquality:
+    @pytest.mark.parametrize("duration", [TRANSIENT, PERMANENT])
+    def test_small_program_serial(self, duration):
+        full = _small_campaign(False).run(experiments=80, duration=duration)
+        hyb = _small_campaign(True).run(experiments=80, duration=duration)
+        _assert_identical(full, hyb)
+        assert hyb.synthesized_full + hyb.synthesized_partial > 0
+        assert hyb.runs_saved == (2 * hyb.synthesized_full
+                                  + hyb.synthesized_partial)
+        assert (hyb.executed + hyb.synthesized_full
+                + hyb.synthesized_partial) == hyb.total
+
+    @pytest.mark.parametrize("name", ["mesa", "g721_dec"])
+    def test_workload_planned_equality(self, name):
+        # The planned (workers/journal) path is the one campaigns at
+        # scale use; equality must hold there too.
+        embedded = WORKLOADS[name].build_embedded()
+        full = Campaign(embedded=embedded, seed=11).run(
+            experiments=10, duration=TRANSIENT, workers=1)
+        hyb = Campaign(embedded=embedded, seed=11, hybrid=True).run(
+            experiments=10, duration=TRANSIENT, workers=1)
+        _assert_identical(full, hyb)
+
+    def test_hybrid_off_summary_counts_as_executed(self):
+        summary = _small_campaign(False).run(experiments=20,
+                                             duration=TRANSIENT)
+        assert summary.executed == summary.total == 20
+        assert summary.synthesized_full == summary.synthesized_partial == 0
+        assert summary.spot_checks == 0
+        assert summary.runs_saved == 0
+
+
+class TestSpotChecks:
+    def test_rate_one_executes_and_verifies_everything(self):
+        campaign = _small_campaign(True, spot_check_rate=1.0)
+        summary = campaign.run(experiments=50, duration=TRANSIENT)
+        # Every experiment simulated AND differenced against its
+        # verdict; any contradiction would have raised.
+        assert summary.spot_checks == summary.total == 50
+        assert summary.synthesized_full == summary.synthesized_partial == 0
+        for result in summary.results:
+            assert result.spot_check
+            assert result.synthesized == ""
+
+    def test_rate_zero_never_spot_checks(self):
+        summary = _small_campaign(True, spot_check_rate=0.0).run(
+            experiments=40, duration=TRANSIENT)
+        assert summary.spot_checks == 0
+
+    def test_fabricated_contradiction_raises(self):
+        from repro.analysis.masking import TimelineVerdict
+
+        campaign = _small_campaign(True)
+        spec = campaign.points[0].spec
+        result = ExperimentResult(spec=spec, duration=TRANSIENT, inject_at=3,
+                                  masked=False, detected=False)
+        verdict = TimelineVerdict(masked=True, detected=True,
+                                  checker="parity", rule="test-rule")
+        with pytest.raises(HybridSoundnessError) as excinfo:
+            campaign._check_verdict(verdict, result)
+        message = str(excinfo.value)
+        assert "masked" in message and "detected" in message
+        assert "test-rule" in message
+
+    def test_agreeing_result_passes(self):
+        from repro.analysis.masking import TimelineVerdict
+
+        campaign = _small_campaign(True)
+        spec = campaign.points[0].spec
+        result = ExperimentResult(spec=spec, duration=TRANSIENT, inject_at=3,
+                                  masked=True, detected=False)
+        campaign._check_verdict(
+            TimelineVerdict(masked=True, detected=None), result)
+        campaign._check_verdict(
+            TimelineVerdict(masked=None, detected=False), result)
+
+
+class TestDeterminism:
+    def test_spot_stream_independent_of_inject_stream(self):
+        # The spot-check RNG must not perturb inject_at draws: hybrid
+        # and full campaigns with one seed sample identical experiments.
+        a = _small_campaign(False)
+        b = _small_campaign(True, spot_check_rate=0.5)
+        draws_a = [a.rng.randrange(0, 1000) for _ in range(50)]
+        draws_b = [b.rng.randrange(0, 1000) for _ in range(50)]
+        assert draws_a == draws_b
+
+    def test_planned_spot_decision_is_seed_deterministic(self):
+        campaign = _small_campaign(True, spot_check_rate=0.5)
+
+        class Planned:
+            seed = 0xDEADBEEF
+
+        first = campaign._planned_spot(Planned())
+        assert all(campaign._planned_spot(Planned()) == first
+                   for _ in range(5))
+
+
+class TestJournalCompatibility:
+    def _result(self, **overrides):
+        fields = dict(spec=FaultSpec(target="ex.alu.result", mask=1,
+                                     index=None, is_state=False),
+                      duration=TRANSIENT, inject_at=9, masked=False,
+                      detected=True, checker="parity")
+        fields.update(overrides)
+        return ExperimentResult(**fields)
+
+    def test_plain_records_stay_byte_identical(self):
+        # Pre-hybrid journals must hash/diff identically: the new fields
+        # are only written when they deviate from their defaults.
+        record = result_to_record(self._result())
+        assert "synthesized" not in record
+        assert "spot_check" not in record
+
+    def test_synthesized_round_trip(self):
+        original = self._result(synthesized="both:inert", spot_check=False)
+        record = result_to_record(original)
+        assert record["synthesized"] == "both:inert"
+        rebuilt = record_to_result(record)
+        assert rebuilt.synthesized == "both:inert"
+        assert rebuilt.spot_check is False
+
+    def test_old_record_reads_with_defaults(self):
+        record = result_to_record(self._result())
+        record.pop("synthesized", None)
+        record.pop("spot_check", None)
+        rebuilt = record_to_result(record)
+        assert rebuilt.synthesized == ""
+        assert rebuilt.spot_check is False
+
+
+class TestSummaryAccounting:
+    def test_add_classifies_tags(self):
+        summary = CampaignSummary(duration=TRANSIENT, keep_results=False)
+        spec = FaultSpec(target="ex.alu.result", mask=1, index=None,
+                         is_state=False)
+        base = dict(spec=spec, duration=TRANSIENT, inject_at=0,
+                    masked=True, detected=False)
+        summary.add(ExperimentResult(synthesized="both:inert", **base))
+        summary.add(ExperimentResult(synthesized="masking:rf-untouched",
+                                     **base))
+        summary.add(ExperimentResult(spot_check=True, **base))
+        summary.add(ExperimentResult(**base))
+        assert summary.synthesized_full == 1
+        assert summary.synthesized_partial == 1
+        assert summary.executed == 2
+        assert summary.spot_checks == 1
+        assert summary.runs_saved == 3
+
+    def test_merge_folds_hybrid_counters(self):
+        spec = FaultSpec(target="ex.alu.result", mask=1, index=None,
+                         is_state=False)
+        base = dict(spec=spec, duration=TRANSIENT, inject_at=0,
+                    masked=True, detected=False)
+        a = CampaignSummary(duration=TRANSIENT, keep_results=False)
+        a.add(ExperimentResult(synthesized="both:inert", **base))
+        b = CampaignSummary(duration=TRANSIENT, keep_results=False)
+        b.add(ExperimentResult(spot_check=True, **base))
+        a.merge(b)
+        assert a.synthesized_full == 1
+        assert a.executed == 1
+        assert a.spot_checks == 1
+
+
+class TestServiceSpec:
+    def test_spec_round_trip(self):
+        from repro.service.scheduler import CampaignSpec
+
+        spec = CampaignSpec.from_dict({"workload": "mesa", "experiments": 10,
+                                       "hybrid": True,
+                                       "spot_check_rate": 0.25})
+        spec.validate()
+        assert spec.hybrid is True
+        assert spec.spot_check_rate == 0.25
+        payload = spec.to_dict()
+        assert payload["hybrid"] is True
+        assert payload["spot_check_rate"] == 0.25
+        assert CampaignSpec.from_dict(payload).hybrid is True
+
+    def test_spec_defaults_off(self):
+        from repro.service.scheduler import CampaignSpec
+
+        spec = CampaignSpec.from_dict({"workload": "mesa"})
+        spec.validate()
+        assert spec.hybrid is False
+        assert spec.spot_check_rate == 0.05
+
+    def test_spec_validation(self):
+        from repro.service.scheduler import CampaignSpec, SpecError
+
+        with pytest.raises(SpecError):
+            CampaignSpec.from_dict({"workload": "mesa",
+                                    "hybrid": "yes"}).validate()
+        with pytest.raises(SpecError):
+            CampaignSpec.from_dict({"workload": "mesa",
+                                    "spot_check_rate": 1.5}).validate()
+
+    def test_hybrid_spec_builds_hybrid_campaign(self):
+        from repro.service.scheduler import CampaignSpec
+
+        spec = CampaignSpec.from_dict({"workload": "mesa", "hybrid": True,
+                                       "spot_check_rate": 0.5})
+        campaign = spec.build_campaign()
+        assert campaign.hybrid is True
+        assert campaign.spot_check_rate == 0.5
+
+    def test_storable_excludes_synthetic_records(self):
+        from repro.service.scheduler import _storable
+
+        assert _storable({"masked": True})
+        assert _storable({"masked": True, "synthesized": ""})
+        assert not _storable({"masked": True, "synthesized": "both:inert"})
+        assert not _storable({"masked": True, "spot_check": True})
