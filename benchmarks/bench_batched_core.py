@@ -1,0 +1,139 @@
+"""Batched (structure-of-arrays) campaign speedup vs the scalar engine.
+
+Runs the same seed-pinned transient campaign three ways - scalar cold
+(no checkpoints, every experiment replays from instruction 0), batched
+with the pure-Python column backend, and batched with the numpy column
+backend (skipped when numpy is not installed) - asserts every run is
+*bit-identical* per experiment (quadrant, checker attribution, detail,
+latencies), and records the throughputs as JSON.
+
+There is deliberately no timing gate in the pytest entry point: CI
+machines are too noisy to assert wall-clock ratios, so CI only enforces
+the classification match and uploads the record as an artifact.  The
+committed ``BENCH_batched_core.json`` (regenerate with
+``python benchmarks/bench_batched_core.py``) documents the speedup on a
+quiet machine; the acceptance bar is >=5x over the cold scalar engine
+at the default 500-experiment size.
+
+Size via ``ARGUS_BATCHED_EXPERIMENTS`` (default 500), output path via
+``ARGUS_BATCHED_RECORD``, speedup floor via
+``ARGUS_BATCHED_MIN_SPEEDUP`` (CI sets 1.0: record, don't gate).
+"""
+
+import json
+import os
+import time
+
+from repro.faults.campaign import Campaign
+from repro.faults.model import TRANSIENT
+
+EXPERIMENTS = int(os.environ.get("ARGUS_BATCHED_EXPERIMENTS", "500"))
+MIN_SPEEDUP = float(os.environ.get("ARGUS_BATCHED_MIN_SPEEDUP", "5.0"))
+SEED = 2007
+BATCH_SIZE = 64
+RECORD_PATH = os.environ.get(
+    "ARGUS_BATCHED_RECORD",
+    os.path.join(os.path.dirname(__file__), "BENCH_batched_core.json"))
+
+
+def _result_key(result):
+    return (result.quadrant, result.checker, result.detail, result.inject_at,
+            result.activated_at, result.hung, result.latency_instructions,
+            result.latency_cycles, result.latency_blocks)
+
+
+def _numpy_available():
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def run_comparison(experiments=EXPERIMENTS, seed=SEED):
+    """Run the campaign each way; returns {label: (seconds, summary,
+    campaign)}.  Timing includes the golden run, so the batched numbers
+    pay for building their own checkpoint set and site tables."""
+    modes = [("scalar_cold", dict(use_checkpoints=False)),
+             ("batched", dict(batched=True, batch_size=BATCH_SIZE))]
+    if _numpy_available():
+        modes.append(("batched_numpy", dict(batched=True,
+                                            batch_size=BATCH_SIZE,
+                                            backend="numpy")))
+    out = {}
+    for label, kwargs in modes:
+        campaign = Campaign(seed=seed, **kwargs)
+        start = time.perf_counter()
+        summary = campaign.run(experiments=experiments, duration=TRANSIENT)
+        out[label] = (time.perf_counter() - start, summary, campaign)
+    return out
+
+
+def check_classification(results):
+    """Every mode must be indistinguishable from scalar, per experiment."""
+    _, scalar, _ = results["scalar_cold"]
+    for label, (_, summary, _) in results.items():
+        assert summary.fractions() == scalar.fractions(), label
+        assert summary.checker_counts == scalar.checker_counts, label
+        assert ([_result_key(r) for r in summary.results]
+                == [_result_key(r) for r in scalar.results]), label
+
+
+def build_record(results):
+    scalar_seconds, scalar, _ = results["scalar_cold"]
+    record = {
+        "experiments": EXPERIMENTS,
+        "seed": SEED,
+        "batch_size": BATCH_SIZE,
+        "quadrants": scalar.fractions(),
+        "rows": {},
+    }
+    for label, (seconds, _, campaign) in results.items():
+        perf = campaign.perf_rates()
+        record["rows"][label] = {
+            "seconds": round(seconds, 3),
+            "throughput": round(EXPERIMENTS / seconds, 2),
+            "speedup_vs_scalar_cold": round(scalar_seconds / seconds, 3),
+            "lanes": perf["lanes"],
+            "synthesized_lanes": perf["synthesized_lanes"],
+            "evicted_lanes": perf["evicted_lanes"],
+            "eviction_rate": round(perf["eviction_rate"], 4),
+        }
+    return record
+
+
+def test_batched_speedup(benchmark):
+    results = {}
+
+    def measure():
+        results.update(run_comparison())
+        return results
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    check_classification(results)
+
+    record = build_record(results)
+    for label, row in record["rows"].items():
+        benchmark.extra_info["%s_throughput" % label] = row["throughput"]
+        benchmark.extra_info["%s_speedup" % label] = (
+            row["speedup_vs_scalar_cold"])
+    print("\n  " + json.dumps(record, sort_keys=True))
+
+
+def main():
+    results = run_comparison()
+    check_classification(results)
+    record = build_record(results)
+    with open(RECORD_PATH, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(record, indent=2, sort_keys=True))
+    speedup = record["rows"]["batched"]["speedup_vs_scalar_cold"]
+    assert speedup >= MIN_SPEEDUP, (
+        "batched engine must reach %.1fx over the cold scalar engine at "
+        "%d experiments on a quiet machine: %r"
+        % (MIN_SPEEDUP, EXPERIMENTS, record))
+
+
+if __name__ == "__main__":
+    main()

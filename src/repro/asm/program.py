@@ -62,6 +62,30 @@ class Program:
         """Overwrite the instruction word at a byte address (embedder use)."""
         index = (address - self.text_base) >> 2
         self.words[index] = word & 0xFFFFFFFF
+        self._predecoded = None
+
+    def predecoded(self):
+        """Per-binary predecoded instruction table (built once, shared).
+
+        A tuple of ``(word, instr_or_none)`` aligned with ``self.words``.
+        Workers that receive this program through a pool initializer each
+        build the table exactly once and every core over the same binary
+        shares it read-only; ``set_word`` (embedder use only) invalidates
+        it.
+        """
+        table = getattr(self, "_predecoded", None)
+        if table is None:
+            from repro.isa.decode import predecode
+
+            table = self._predecoded = predecode(self.words)
+        return table
+
+    def __getstate__(self):
+        """Ship programs without the predecode table (workers rebuild it
+        once; the decoded records would only bloat pool IPC)."""
+        state = self.__dict__.copy()
+        state.pop("_predecoded", None)
+        return state
 
     def addr_of(self, label):
         """Resolved byte address of a label."""

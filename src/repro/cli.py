@@ -430,7 +430,10 @@ def cmd_campaign(args):
                         use_checkpoints=not args.no_checkpoints,
                         checkpoint_interval=args.checkpoint_interval,
                         hybrid=args.hybrid,
-                        spot_check_rate=args.spot_check_rate)
+                        spot_check_rate=args.spot_check_rate,
+                        batched=args.batched,
+                        batch_size=args.batch_size,
+                        backend=args.backend)
     sinks = []
     if not args.quiet:
         sinks.append(StderrTelemetry())
@@ -499,10 +502,18 @@ def cmd_campaign(args):
             dump[duration]["audit_disagreements"] = [
                 defect.format() for defect in found]
     telemetry.close()
+    perf = campaign.perf_rates()
+    if not args.quiet and perf["experiments"]:
+        print("  perf: %.1f exp/s | %.0f instr/s | eviction rate %.2f "
+              "(%d lanes, %d synthesized)" % (
+                  perf["experiments_per_second"],
+                  perf["instructions_per_second"],
+                  perf["eviction_rate"], perf["lanes"],
+                  perf["synthesized_lanes"]))
     if args.json:
         with open(args.json, "w") as handle:
-            json.dump({"seed": args.seed, "summaries": dump}, handle,
-                      indent=2, sort_keys=True)
+            json.dump({"seed": args.seed, "summaries": dump, "perf": perf},
+                      handle, indent=2, sort_keys=True)
         print("wrote %s" % args.json)
     return 1 if defects else 0
 
@@ -625,6 +636,9 @@ def cmd_submit(args):
     if args.hybrid:
         spec["hybrid"] = True
         spec["spot_check_rate"] = args.spot_check_rate
+    if args.batched:
+        spec["batched"] = True
+        spec["batch_size"] = args.batch_size
     client = _service_client(args)
     try:
         job = client.submit(spec)
@@ -925,6 +939,18 @@ def build_parser():
                    help="fraction of provable experiments still executed "
                         "and differenced against their proofs "
                         "(default: 0.05)")
+    p.add_argument("--batched", action="store_true",
+                   help="batched structure-of-arrays execution: classify "
+                        "experiments in lockstep batches against one "
+                        "shared golden sweep (classification-identical)")
+    p.add_argument("--batch-size", type=int, default=64,
+                   help="experiments per batched-engine batch "
+                        "(default: 64)")
+    p.add_argument("--backend", choices=("python", "numpy", "auto"),
+                   default=None,
+                   help="batched column backend (default: auto - numpy "
+                        "when ARGUS_REPRO_NUMPY=1 and installed, else "
+                        "pure python)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress live progress telemetry on stderr")
     p.set_defaults(func=cmd_campaign)
@@ -974,6 +1000,9 @@ def build_parser():
     p.add_argument("--hybrid", action="store_true",
                    help="run the job in analytic-hybrid mode")
     p.add_argument("--spot-check-rate", type=float, default=0.05)
+    p.add_argument("--batched", action="store_true",
+                   help="run the job on the batched engine")
+    p.add_argument("--batch-size", type=int, default=64)
     p.add_argument("--wait", action="store_true",
                    help="block until the job finishes and print its summary")
     p.add_argument("--timeout", type=float, default=3600.0,

@@ -89,6 +89,10 @@ class CheckedCore:
         self.embedded = embedded
         program = embedded.program
         self.program = program
+        # Per-binary predecode table (shared read-only across every core
+        # over the same Program; see Program.predecoded).
+        self._ptable = program.predecoded()
+        self._text_base = program.text_base
         self.mem = MemorySystem(mem_config or MemoryConfig.paper(ways=1))
         program.load_into(self.mem.memory)
         self.dmem = CheckedMemory()
@@ -219,16 +223,29 @@ class CheckedCore:
 
         pc = self.pc
         fetch_pc = tap("if.pc", pc) & WORD_MASK
-        word, fetch_latency = self.mem.fetch(fetch_pc & ADDR_MASK & ~3)
+        fetch_addr = fetch_pc & ADDR_MASK & ~3
+        word, fetch_latency = self.mem.fetch(fetch_addr)
         word = tap("if.inst", word) & WORD_MASK
         stall = fetch_latency - 1
 
         word_fu = tap("id.word.fu", word) & WORD_MASK
         word_chk = tap("id.word.chk", word) & WORD_MASK
         word_shs = tap("id.word.shs", word) & WORD_MASK
-        fu = self._decode(word_fu)
-        chk = self._decode(word_chk)
-        shs_i = self._decode(word_shs)
+        # The overwhelmingly common case is an uncorrupted fetch of static
+        # text: one tuple index into the per-binary predecode table.  Any
+        # mismatch (corrupted copy, wild fetch) falls back to the memo.
+        decode = self._decode
+        ptable = self._ptable
+        index = (fetch_addr - self._text_base) >> 2
+        if 0 <= index < len(ptable):
+            tword, cached = ptable[index]
+            fu = cached if word_fu == tword else decode(word_fu)
+            chk = cached if word_chk == tword else decode(word_chk)
+            shs_i = cached if word_shs == tword else decode(word_shs)
+        else:
+            fu = decode(word_fu)
+            chk = decode(word_chk)
+            shs_i = decode(word_shs)
         self.instret += 1
 
         if chk is not None:
@@ -244,26 +261,31 @@ class CheckedCore:
                             "instruction copy disagreement (opcode distribution)")
 
         # ---- operand fetch (ports driven by the FU-side decode) --------
+        # Hot-loop locals: the flags and register file are touched on
+        # nearly every instruction.
+        rf = self.rf
+        chk_parity = self._chk_parity
+        chk_dcs = self._chk_dcs
         a_val = b_val = 0
         shs_a = shs_b = None
         if fu is not None:
             if fu.reads_ra:
-                value, par = self.rf.read(fu.ra)
+                value, par = rf.read(fu.ra)
                 a_val = tap("ex.op_a", value, index=fu.ra) & WORD_MASK
                 a_par = tap("ex.op_a.par", par, index=fu.ra) & 1
-                if self._chk_parity and parity32(a_val) != a_par:
+                if chk_parity and parity32(a_val) != a_par:
                     self._raise(DataflowParityError,
                                 "operand A parity (r%d)" % fu.ra)
-                if self._chk_dcs:
+                if chk_dcs:
                     shs_a = tap("ex.shs_a", self.shs.read(fu.ra)) & 0x1F
             if fu.reads_rb:
-                value, par = self.rf.read(fu.rb)
+                value, par = rf.read(fu.rb)
                 b_val = tap("ex.op_b", value, index=fu.rb) & WORD_MASK
                 b_par = tap("ex.op_b.par", par, index=fu.rb) & 1
-                if self._chk_parity and parity32(b_val) != b_par:
+                if chk_parity and parity32(b_val) != b_par:
                     self._raise(DataflowParityError,
                                 "operand B parity (r%d)" % fu.rb)
-                if self._chk_dcs:
+                if chk_dcs:
                     shs_b = tap("ex.shs_b", self.shs.read(fu.rb)) & 0x1F
 
         # ---- execute ----------------------------------------------------
@@ -317,17 +339,17 @@ class CheckedCore:
         rd_port = None
         if fu is not None and fu.writes_rd and wb_value is not None:
             rd_port = tap("wb.rd", fu.rd, index=fu.rd) & 0x1F
-            self.rf.write(rd_port, wb_value)
+            rf.write(rd_port, wb_value)
             record_rd = rd_port
             record_val = wb_value & WORD_MASK
         if is_branch and fu.is_call:
             link_value = (pc + 8) & ADDR_MASK
-            self.rf.write(LINK, link_value)
+            rf.write(LINK, link_value)
             record_rd = LINK
             record_val = link_value
 
         # ---- SHS transfer (checker datapath) ----------------------------
-        if self._chk_dcs and shs_i is not None:
+        if chk_dcs and shs_i is not None:
             overrides = {}
             if shs_i.reads_ra and shs_a is not None:
                 overrides[shs_i.ra] = shs_a

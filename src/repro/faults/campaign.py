@@ -19,13 +19,14 @@ reproduces Sec. 4.1.1; detection latencies reproduce Sec. 4.2.
 """
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.argus.errors import ArgusError
 from repro.cpu.checkedcore import CheckedCore
-from repro.faults.checkpoint import (CheckpointStore, masking_view_of,
-                                     record_checkpoints)
+from repro.faults.checkpoint import CheckpointStore, record_checkpoints
+from repro.faults.execution import detection_loop, masking_loop
 from repro.faults.injector import SignalInjector
 from repro.faults.model import FaultSchedule, PERMANENT, TRANSIENT
 from repro.faults.points import build_point_population, sample_points
@@ -220,7 +221,8 @@ class Campaign:
     def __init__(self, embedded=None, seed=0, run_slack=1.25,
                  include_double_bits=True, use_checkpoints=True,
                  checkpoint_interval=None, max_checkpoints=None,
-                 hybrid=False, spot_check_rate=0.05):
+                 hybrid=False, spot_check_rate=0.05, batched=False,
+                 batch_size=64, backend=None):
         self.embedded = embedded if embedded is not None else build_stress_program()
         self.seed = seed
         self.rng = random.Random(seed)
@@ -231,6 +233,24 @@ class Campaign:
         self.max_checkpoints = max_checkpoints
         self.hybrid = hybrid
         self.spot_check_rate = spot_check_rate
+        self.batched = batched
+        self.batch_size = int(batch_size)
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.backend = backend
+        # Wall-clock/throughput accounting, exposed through telemetry and
+        # ``campaign --json``; the engine's counters are folded in as the
+        # batches run (pool workers ship per-batch deltas of this dict).
+        self.perf = {
+            "experiments": 0,
+            "elapsed": 0.0,
+            "batches": 0,
+            "lanes": 0,
+            "synthesized_lanes": 0,
+            "evicted_lanes": 0,
+            "sweep_instructions": 0,
+            "lane_instructions": 0,
+        }
         # A dedicated spot-check stream keeps self.rng's draw sequence
         # (and with it every inject_at) identical with hybrid on or off.
         self._spot_rng = random.Random("argus-hybrid-spot/%d" % seed)
@@ -238,6 +258,7 @@ class Campaign:
         self._golden = None
         self._golden_final = None
         self._checkpoints = None
+        self._engine = None
 
     # -- golden reference --------------------------------------------------
     def golden_trace(self):
@@ -334,32 +355,9 @@ class Campaign:
         # one-shot flip is behind us once applied - can reconverge.
         reconverge = (store is not None and duration == TRANSIENT
                       and spec.is_state)
-        while not core.halted and step < limit:
-            if reconverge and step > inject_at and step % store.interval == 0:
-                view = store.masking_view_at(step)
-                if view is not None and view == masking_view_of(core):
-                    return True, None, False  # reconverged: tail == golden
-            schedule.before_step(step, injector, core)
-            record = core.step()
-            if record is None:
-                return False, step, True  # hung: liveness violation
-            schedule.after_step(injector, core)
-            if step < len(golden):
-                if record != golden[step]:
-                    # First architectural impact: the fault is unmasked.
-                    # A transient is removed here (activation methodology);
-                    # classification needs nothing further.
-                    return False, step, False
-            else:
-                return False, step, False  # ran past golden: diverged
-            step += 1
-        if not core.halted:
-            return False, step, True  # still running: livelock
-        if step != len(golden):
-            return False, step, False  # halted early
-        if core.architectural_state() != self._golden_final:
-            return False, step, False
-        return True, None, False
+        return masking_loop(core, injector, schedule, golden,
+                            self._golden_final, limit, step,
+                            store=store, reconverge=reconverge)
 
     def _detection_run(self, spec, duration, inject_at):
         """Checkers-on run; returns (detected, event, hung).
@@ -375,56 +373,35 @@ class Campaign:
         limit = int(len(golden) * self.run_slack) + 64
         core, injector = self._new_core(spec, detect=True)
         schedule = FaultSchedule(spec, duration, inject_at)
-        diverged = False
         step = self._warm_start(core, inject_at)
-        # Latency is measured from the error's first architectural impact
-        # (its activation), as in Sec. 4.2; until the fault activates, the
-        # injection point itself is the reference.
-        base_instret = inject_at
-        base_cycle = 0
-        base_block = 0
-        try:
-            while not core.halted and step < limit:
-                if step == inject_at:
-                    base_cycle = core.cycles
-                    base_block = core.block_index
-                schedule.before_step(step, injector, core)
-                record = core.step()
-                if record is None:
-                    return False, None, True  # hung undetected (shouldn't happen)
-                schedule.after_step(injector, core)
-                if (step >= inject_at and not diverged
-                        and (step >= len(golden) or record != golden[step])):
-                    diverged = True
-                    base_instret = step
-                    base_cycle = core.cycles
-                    base_block = core.block_index
-                    schedule.deactivate_on_divergence(injector)
-                step += 1
-        except ArgusError as exc:
-            event = exc.event
-            latency = {
-                "instructions": max(event.instret - base_instret, 0),
-                "cycles": max(event.cycle - base_cycle, 0),
-                "blocks": max(event.block_index - base_block, 0),
-            }
-            return True, (event, latency), False
-        return False, None, False
+        return detection_loop(core, injector, schedule, golden, limit, step)
 
     def run_experiment(self, spec, duration, inject_at=None):
         """Run (or, in hybrid mode, prove) one fault's classification."""
         golden = self.golden_trace()
         if inject_at is None:
             inject_at = self.rng.randrange(0, max(int(len(golden) * 0.85), 1))
+        start = time.perf_counter()
         if self.hybrid:
             spot = self._spot_rng.random() < self.spot_check_rate
-            return self._run_hybrid(spec, duration, inject_at, spot)
-        return self._execute(spec, duration, inject_at)
+            result = self._run_hybrid(spec, duration, inject_at, spot)
+        else:
+            result = self._execute(spec, duration, inject_at)
+        self.perf["experiments"] += 1
+        self.perf["elapsed"] += time.perf_counter() - start
+        return result
 
-    def _execute(self, spec, duration, inject_at):
-        """Run both simulation phases; returns an ExperimentResult."""
-        masked, activated_at, hung1 = self._masking_run(spec, duration, inject_at)
-        detected, info, hung2 = self._detection_run(spec, duration, inject_at)
+    def _assemble(self, spec, duration, inject_at, masking, detection):
+        """Build the ExperimentResult from the two phase outcomes.
+
+        ``masking`` is the (masked, activated_at, hung) triple of a
+        masking run, ``detection`` the (detected, info, hung) triple of
+        a detection run - whether they came from the scalar phase
+        methods or from batched-engine lanes (both execute the loops in
+        :mod:`repro.faults.execution`, so the triples are bit-identical).
+        """
+        masked, activated_at, hung1 = masking
+        detected, info, hung2 = detection
         checker = None
         detail = ""
         lat_i = lat_c = lat_b = None
@@ -450,6 +427,55 @@ class Campaign:
             hung=hung1 or hung2,
         )
 
+    def _execute(self, spec, duration, inject_at):
+        """Run both simulation phases; returns an ExperimentResult."""
+        masking = self._masking_run(spec, duration, inject_at)
+        detection = self._detection_run(spec, duration, inject_at)
+        return self._assemble(spec, duration, inject_at, masking, detection)
+
+    def _hybrid_complete(self, spec, duration, inject_at, verdict):
+        """Both axes proven: a fully synthesized ExperimentResult."""
+        return ExperimentResult(
+            spec=spec, duration=duration, inject_at=inject_at,
+            masked=verdict.masked, detected=verdict.detected,
+            checker=verdict.checker if verdict.detected else None,
+            detail="synthesized: %s" % verdict.rule,
+            hung=verdict.rule == "hang",
+            synthesized="both:%s" % verdict.rule)
+
+    def _hybrid_masking_only(self, spec, duration, inject_at, verdict,
+                             masking):
+        """Detection axis proven; ``masking`` is the executed triple."""
+        masked, activated_at, hung = masking
+        return ExperimentResult(
+            spec=spec, duration=duration, inject_at=inject_at,
+            masked=masked, detected=verdict.detected,
+            checker=verdict.checker if verdict.detected else None,
+            detail="synthesized detection: %s" % verdict.rule,
+            activated_at=activated_at, hung=hung,
+            synthesized="detection:%s" % verdict.rule)
+
+    def _hybrid_detection_only(self, spec, duration, inject_at, verdict,
+                               detection):
+        """Masking axis proven; ``detection`` is the executed triple."""
+        detected, info, hung = detection
+        checker = None
+        detail = "synthesized masking: %s" % verdict.rule
+        lat_i = lat_c = lat_b = None
+        if detected:
+            event, latency = info
+            checker = event.checker
+            detail = event.detail
+            lat_i = latency["instructions"]
+            lat_c = latency["cycles"]
+            lat_b = latency["blocks"]
+        return ExperimentResult(
+            spec=spec, duration=duration, inject_at=inject_at,
+            masked=verdict.masked, detected=detected, checker=checker,
+            detail=detail, latency_instructions=lat_i,
+            latency_cycles=lat_c, latency_blocks=lat_b, hung=hung,
+            synthesized="masking:%s" % verdict.rule)
+
     def _run_hybrid(self, spec, duration, inject_at, spot):
         """Synthesize proven axes from the timeline, simulate the rest.
 
@@ -467,42 +493,16 @@ class Campaign:
                 result.spot_check = True
             return result
         if verdict.complete:
-            return ExperimentResult(
-                spec=spec, duration=duration, inject_at=inject_at,
-                masked=verdict.masked, detected=verdict.detected,
-                checker=verdict.checker if verdict.detected else None,
-                detail="synthesized: %s" % verdict.rule,
-                hung=verdict.rule == "hang",
-                synthesized="both:%s" % verdict.rule)
+            return self._hybrid_complete(spec, duration, inject_at, verdict)
         if verdict.masked is None:
             # Detection axis proven; only the masking run executes.
-            masked, activated_at, hung = self._masking_run(
-                spec, duration, inject_at)
-            return ExperimentResult(
-                spec=spec, duration=duration, inject_at=inject_at,
-                masked=masked, detected=verdict.detected,
-                checker=verdict.checker if verdict.detected else None,
-                detail="synthesized detection: %s" % verdict.rule,
-                activated_at=activated_at, hung=hung,
-                synthesized="detection:%s" % verdict.rule)
+            masking = self._masking_run(spec, duration, inject_at)
+            return self._hybrid_masking_only(spec, duration, inject_at,
+                                             verdict, masking)
         # Masking axis proven; only the detection run executes.
-        detected, info, hung = self._detection_run(spec, duration, inject_at)
-        checker = None
-        detail = "synthesized masking: %s" % verdict.rule
-        lat_i = lat_c = lat_b = None
-        if detected:
-            event, latency = info
-            checker = event.checker
-            detail = event.detail
-            lat_i = latency["instructions"]
-            lat_c = latency["cycles"]
-            lat_b = latency["blocks"]
-        return ExperimentResult(
-            spec=spec, duration=duration, inject_at=inject_at,
-            masked=verdict.masked, detected=detected, checker=checker,
-            detail=detail, latency_instructions=lat_i,
-            latency_cycles=lat_c, latency_blocks=lat_b, hung=hung,
-            synthesized="masking:%s" % verdict.rule)
+        detection = self._detection_run(spec, duration, inject_at)
+        return self._hybrid_detection_only(spec, duration, inject_at,
+                                           verdict, detection)
 
     def _check_verdict(self, verdict, result):
         """Raise HybridSoundnessError if an executed result contradicts
@@ -546,10 +546,151 @@ class Campaign:
         """
         rng = random.Random(planned.seed)
         inject_at = rng.randrange(0, max(int(self.golden_length * 0.85), 1))
+        start = time.perf_counter()
         if self.hybrid:
-            return self._run_hybrid(planned.spec, planned.duration,
-                                    inject_at, self._planned_spot(planned))
-        return self._execute(planned.spec, planned.duration, inject_at)
+            result = self._run_hybrid(planned.spec, planned.duration,
+                                      inject_at, self._planned_spot(planned))
+        else:
+            result = self._execute(planned.spec, planned.duration, inject_at)
+        self.perf["experiments"] += 1
+        self.perf["elapsed"] += time.perf_counter() - start
+        return result
+
+    # -- batched execution ---------------------------------------------------
+    def _engine_or_none(self):
+        """The lazily built :class:`~repro.cpu.batched.BatchedEngine`,
+        or None when batching is off or unavailable.
+
+        The engine leans on the golden checkpoint store (sweep jumps,
+        reconvergence views) and on the golden checkers-on run being
+        detection-clean - both guaranteed exactly when ``golden_trace``
+        kept its checkpoints.  Without them, batching silently degrades
+        to the scalar path (correctness first).
+        """
+        if not self.batched:
+            return None
+        if self._engine is None:
+            self.golden_trace()
+            if self._checkpoints is None:
+                return None
+            from repro.cpu.batched import BatchedEngine
+
+            self._engine = BatchedEngine(
+                self.embedded, self._golden, self._golden_final,
+                self._checkpoints, self.run_slack, backend=self.backend)
+        return self._engine
+
+    def _run_scalar_entry(self, spec, duration, inject_at, spot):
+        """One experiment on the scalar path with a pre-drawn spot flag."""
+        if self.hybrid:
+            return self._run_hybrid(spec, duration, inject_at, spot)
+        return self._execute(spec, duration, inject_at)
+
+    def _run_batch_entries(self, entries):
+        """Run ``entries`` = [(spec, duration, inject_at, spot)] through
+        the batched engine; returns ExperimentResults in entry order.
+
+        Entries the engine cannot take (intermittent faults, hybrid
+        fully-proven verdicts, no engine at all) run on the scalar path
+        or synthesize directly; everything else becomes engine lanes.
+        If the golden sweep itself raises (an embedding whose fault-free
+        checkers-on run is not clean), the whole batch falls back to the
+        scalar path, which reproduces that behaviour per experiment.
+        """
+        from repro.argus.errors import ArgusError as _ArgusError
+
+        start = time.perf_counter()
+        engine = self._engine_or_none()
+        results = [None] * len(entries)
+        items = []
+        meta = []  # (entry index, verdict-or-None, mode)
+        for i, (spec, duration, inject_at, spot) in enumerate(entries):
+            if engine is None or duration not in (TRANSIENT, PERMANENT):
+                results[i] = self._run_scalar_entry(spec, duration,
+                                                    inject_at, spot)
+                continue
+            if self.hybrid:
+                verdict = self.timeline().verdict(spec, duration=duration,
+                                                  inject_at=inject_at)
+                if spot or not (verdict.masked is not None or
+                                verdict.detected is not None):
+                    items.append((spec, duration, inject_at, True, True))
+                    meta.append((i, verdict, "spot" if spot else "full"))
+                elif verdict.complete:
+                    results[i] = self._hybrid_complete(spec, duration,
+                                                       inject_at, verdict)
+                elif verdict.masked is None:
+                    items.append((spec, duration, inject_at, True, False))
+                    meta.append((i, verdict, "masking_only"))
+                else:
+                    items.append((spec, duration, inject_at, False, True))
+                    meta.append((i, verdict, "detection_only"))
+            else:
+                items.append((spec, duration, inject_at, True, True))
+                meta.append((i, None, "full"))
+        if items:
+            counters_before = dict(engine.counters)
+            try:
+                outcomes = engine.run_batch(items)
+            except _ArgusError:
+                outcomes = None
+            if outcomes is None:
+                for (i, _verdict, mode), item in zip(meta, items):
+                    results[i] = self._run_scalar_entry(
+                        item[0], item[1], item[2], mode == "spot")
+            else:
+                for key, delta in engine.counters.items():
+                    self.perf[key] += delta - counters_before[key]
+                for (i, verdict, mode), item, (m_out, d_out) in \
+                        zip(meta, items, outcomes):
+                    spec, duration, inject_at = item[0], item[1], item[2]
+                    if mode == "masking_only":
+                        results[i] = self._hybrid_masking_only(
+                            spec, duration, inject_at, verdict, m_out)
+                    elif mode == "detection_only":
+                        results[i] = self._hybrid_detection_only(
+                            spec, duration, inject_at, verdict, d_out)
+                    else:
+                        result = self._assemble(spec, duration, inject_at,
+                                                m_out, d_out)
+                        if mode == "spot":
+                            self._check_verdict(verdict, result)
+                            result.spot_check = True
+                        results[i] = result
+        self.perf["experiments"] += len(entries)
+        self.perf["elapsed"] += time.perf_counter() - start
+        return results
+
+    def run_planned_batch(self, batch):
+        """Run a list of PlannedExperiments through the batched engine.
+
+        Derives each experiment's ``inject_at`` and spot-check decision
+        from its own seed exactly as :meth:`run_planned` does, so the
+        results - ids, classifications, latencies, journal records - are
+        bit-identical to running them one by one, for any grouping.
+        """
+        span = max(int(self.golden_length * 0.85), 1)
+        entries = []
+        for planned in batch:
+            inject_at = random.Random(planned.seed).randrange(0, span)
+            spot = self._planned_spot(planned) if self.hybrid else False
+            entries.append((planned.spec, planned.duration, inject_at, spot))
+        return self._run_batch_entries(entries)
+
+    def perf_rates(self):
+        """``self.perf`` plus derived throughput rates (for telemetry and
+        the CLI's ``--json`` perf block)."""
+        perf = dict(self.perf)
+        elapsed = perf["elapsed"]
+        instructions = perf["sweep_instructions"] + perf["lane_instructions"]
+        perf["experiments_per_second"] = (
+            perf["experiments"] / elapsed if elapsed > 0 else 0.0)
+        perf["instructions_per_second"] = (
+            instructions / elapsed if elapsed > 0 else 0.0)
+        lanes = perf["lanes"]
+        perf["eviction_rate"] = (
+            perf["evicted_lanes"] / lanes if lanes else 0.0)
+        return perf
 
     # -- whole campaign ------------------------------------------------------
     def run(self, experiments=1000, duration=TRANSIENT, progress=None,
@@ -586,12 +727,31 @@ class Campaign:
         sink = coerce_sink(progress=progress, telemetry=telemetry)
         summary = CampaignSummary(duration=duration, keep_results=keep_results)
         sampled = sample_points(self.points, experiments, self.rng)
-        tracker = ProgressTracker(sink, duration, experiments)
+        tracker = ProgressTracker(sink, duration, experiments,
+                                  perf=self.perf_rates)
         tracker.start()
-        for point in sampled:
-            result = self.run_experiment(point.spec, duration)
-            summary.add(result)
-            tracker.experiment(result_to_record(result))
+        if self.batched:
+            # Identical RNG discipline to the per-experiment loop below:
+            # inject_at and the hybrid spot decision come from the same
+            # two streams in the same order, then the entries run in
+            # batch_size groups through the engine.
+            span = max(int(self.golden_length * 0.85), 1)
+            entries = []
+            for point in sampled:
+                inject_at = self.rng.randrange(0, span)
+                spot = (self.hybrid and
+                        self._spot_rng.random() < self.spot_check_rate)
+                entries.append((point.spec, duration, inject_at, spot))
+            for lo in range(0, len(entries), self.batch_size):
+                for result in self._run_batch_entries(
+                        entries[lo:lo + self.batch_size]):
+                    summary.add(result)
+                    tracker.experiment(result_to_record(result))
+        else:
+            for point in sampled:
+                result = self.run_experiment(point.spec, duration)
+                summary.add(result)
+                tracker.experiment(result_to_record(result))
         tracker.finish()
         return summary
 

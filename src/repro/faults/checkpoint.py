@@ -49,7 +49,7 @@ DEFAULT_INTERVAL = 64
 DEFAULT_MAX_CHECKPOINTS = 128
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CoreSnapshot:
     """Complete restorable CheckedCore state at one retire boundary.
 

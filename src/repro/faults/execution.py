@@ -1,0 +1,102 @@
+"""The two per-experiment simulation loops, shared by every engine.
+
+:func:`masking_loop` and :func:`detection_loop` are the exact per-step
+semantics of a campaign's checkers-off masking run and checkers-on
+detection run, factored out of :class:`~repro.faults.campaign.Campaign`
+so the scalar path and the batched engine (:mod:`repro.cpu.batched`)
+execute literally the same code.  A batched lane that leaves the
+vectorized path ("eviction") resumes here from whatever step it had
+reached, which is what makes batched classification identical to scalar
+by construction rather than by re-implementation.
+
+Both loops continue a run already positioned at ``step``: the caller has
+either cold-started the core, warm-started it from a golden checkpoint,
+or materialized it mid-flight from the batch sweep's live golden core.
+"""
+
+from repro.argus.errors import ArgusError
+from repro.faults.checkpoint import masking_view_of
+
+
+def masking_loop(core, injector, schedule, golden, golden_final, limit,
+                 step, store=None, reconverge=False):
+    """Continue a checkers-off masking run; returns (masked, activated_at,
+    hung).
+
+    ``reconverge`` (state transients only) early-exits as masked once the
+    core re-matches the golden masking view at a checkpoint boundary.
+    """
+    inject_at = schedule.inject_at
+    golden_len = len(golden)
+    while not core.halted and step < limit:
+        if reconverge and step > inject_at and step % store.interval == 0:
+            view = store.masking_view_at(step)
+            if view is not None and view == masking_view_of(core):
+                return True, None, False  # reconverged: tail == golden
+        schedule.before_step(step, injector, core)
+        record = core.step()
+        if record is None:
+            return False, step, True  # hung: liveness violation
+        schedule.after_step(injector, core)
+        if step < golden_len:
+            if record != golden[step]:
+                # First architectural impact: the fault is unmasked.
+                # A transient is removed here (activation methodology);
+                # classification needs nothing further.
+                return False, step, False
+        else:
+            return False, step, False  # ran past golden: diverged
+        step += 1
+    if not core.halted:
+        return False, step, True  # still running: livelock
+    if step != golden_len:
+        return False, step, False  # halted early
+    if core.architectural_state() != golden_final:
+        return False, step, False
+    return True, None, False
+
+
+def detection_loop(core, injector, schedule, golden, limit, step,
+                   base_cycle=0, base_block=0):
+    """Continue a checkers-on detection run; returns (detected, event,
+    hung).
+
+    Latency is measured from the error's first architectural impact (its
+    activation), as in Sec. 4.2; until the fault activates, the injection
+    point itself is the reference.  ``base_cycle``/``base_block`` carry
+    the golden cycle/block counters observed at the injection step when
+    the caller enters past it (a batched lane materialized after a
+    dormant period); entering at or before ``inject_at`` they are
+    captured by the loop itself, exactly as the scalar path always has.
+    """
+    inject_at = schedule.inject_at
+    golden_len = len(golden)
+    base_instret = inject_at
+    diverged = False
+    try:
+        while not core.halted and step < limit:
+            if step == inject_at:
+                base_cycle = core.cycles
+                base_block = core.block_index
+            schedule.before_step(step, injector, core)
+            record = core.step()
+            if record is None:
+                return False, None, True  # hung undetected (shouldn't happen)
+            schedule.after_step(injector, core)
+            if (step >= inject_at and not diverged
+                    and (step >= golden_len or record != golden[step])):
+                diverged = True
+                base_instret = step
+                base_cycle = core.cycles
+                base_block = core.block_index
+                schedule.deactivate_on_divergence(injector)
+            step += 1
+    except ArgusError as exc:
+        event = exc.event
+        latency = {
+            "instructions": max(event.instret - base_instret, 0),
+            "cycles": max(event.cycle - base_cycle, 0),
+            "blocks": max(event.block_index - base_block, 0),
+        }
+        return True, (event, latency), False
+    return False, None, False

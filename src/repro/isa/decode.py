@@ -242,3 +242,15 @@ def decode_or_none(word):
     """
     hit = _decode_memo(word)
     return hit if type(hit) is Instr else None
+
+
+def predecode(words):
+    """Decode a whole text segment once into a tuple of records.
+
+    Returns a tuple aligned with ``words``: each element is
+    ``(word, instr_or_none)``.  Keeping the encoded word next to the
+    decode lets a fetch path verify the table entry still matches what
+    the memory system delivered (fault-corrupted or wrong-word fetches
+    miss and fall back to the per-word memo).
+    """
+    return tuple((word & 0xFFFFFFFF, decode_or_none(word)) for word in words)

@@ -40,13 +40,15 @@ _WORKER_CAMPAIGN = None
 def _campaign_config(campaign):
     """The constructor arguments a worker needs to mirror ``campaign``.
 
-    Includes the checkpoint knobs, so each worker builds its golden
-    checkpoint set exactly once in the pool initializer and every
-    experiment it runs warm-starts from it.
+    Includes the checkpoint and batched-execution knobs, so each worker
+    builds its golden checkpoint set (and batched engine, when enabled)
+    exactly once in the pool initializer and every experiment it runs
+    warm-starts from it.
     """
     return (campaign.embedded, campaign.run_slack, campaign.use_checkpoints,
             campaign.checkpoint_interval, campaign.max_checkpoints,
-            campaign.hybrid, campaign.spot_check_rate)
+            campaign.hybrid, campaign.spot_check_rate,
+            campaign.batched, campaign.batch_size, campaign.backend)
 
 
 def _init_worker(config):
@@ -56,23 +58,41 @@ def _init_worker(config):
     from repro.faults.campaign import Campaign
 
     (embedded, run_slack, use_checkpoints,
-     checkpoint_interval, max_checkpoints, hybrid, spot_check_rate) = config
+     checkpoint_interval, max_checkpoints, hybrid, spot_check_rate,
+     batched, batch_size, backend) = config
     _WORKER_CAMPAIGN = Campaign(
         embedded=embedded, run_slack=run_slack,
         use_checkpoints=use_checkpoints,
         checkpoint_interval=checkpoint_interval,
         max_checkpoints=max_checkpoints,
-        hybrid=hybrid, spot_check_rate=spot_check_rate)
+        hybrid=hybrid, spot_check_rate=spot_check_rate,
+        batched=batched, batch_size=batch_size, backend=backend)
     _WORKER_CAMPAIGN.golden_trace()
     if hybrid:
         _WORKER_CAMPAIGN.timeline()
 
 
 def _run_batch(batch):
-    """Execute one batch of planned experiments; returns (id, record)s."""
-    return [(exp.experiment_id,
-             result_to_record(_WORKER_CAMPAIGN.run_planned(exp)))
-            for exp in batch]
+    """Execute one batch of planned experiments in this worker.
+
+    Returns ``{"pairs": [(experiment_id, record), ...], "perf": delta}``
+    where ``delta`` holds the worker campaign's perf-counter increments
+    for this batch (merged into the coordinating campaign's counters, so
+    throughput telemetry covers the whole pool).
+    """
+    campaign = _WORKER_CAMPAIGN
+    before = dict(campaign.perf)
+    if campaign.batched:
+        pairs = [(exp.experiment_id, result_to_record(result))
+                 for exp, result in zip(batch,
+                                        campaign.run_planned_batch(batch))]
+    else:
+        pairs = [(exp.experiment_id,
+                  result_to_record(campaign.run_planned(exp)))
+                 for exp in batch]
+    perf = {key: value - before.get(key, 0)
+            for key, value in campaign.perf.items()}
+    return {"pairs": pairs, "perf": perf}
 
 
 # -- engine ----------------------------------------------------------------
@@ -109,7 +129,14 @@ def _make_batches(pending, workers, batch_size):
             for i in range(0, len(pending), batch_size)]
 
 
-def _pool_pass(config, pending, workers, commit, timeout, batch_size):
+def merge_perf(campaign, delta):
+    """Fold a worker batch's perf-counter delta into ``campaign.perf``."""
+    for key, value in delta.items():
+        campaign.perf[key] = campaign.perf.get(key, 0) + value
+
+
+def _pool_pass(config, pending, workers, commit, timeout, batch_size,
+               on_perf=None):
     """One attempt at draining ``pending`` through a fresh process pool.
 
     Commits whatever completes; experiments still uncommitted afterwards
@@ -140,7 +167,9 @@ def _pool_pass(config, pending, workers, commit, timeout, batch_size):
                     return  # a worker crashed; retry the rest elsewhere
                 except Exception:
                     continue  # a deterministic error; serial fallback re-raises
-                for experiment_id, record in results:
+                if on_perf is not None and results["perf"]:
+                    on_perf(results["perf"])
+                for experiment_id, record in results["pairs"]:
                     commit(experiment_id, record)
     finally:
         # A cleanly drained pass waits for worker teardown (abandoning it
@@ -163,7 +192,8 @@ def _run_parallel(campaign, pending, workers, commit, timeout, retries,
         if not remaining:
             return
         _pool_pass(_campaign_config(campaign), list(remaining.values()),
-                   workers, commit_and_pop, timeout, batch_size)
+                   workers, commit_and_pop, timeout, batch_size,
+                   on_perf=lambda delta: merge_perf(campaign, delta))
     for exp in list(remaining.values()):
         commit_and_pop(exp.experiment_id,
                        result_to_record(campaign.run_planned(exp)))
@@ -228,7 +258,8 @@ def execute_plan(campaign, plan, workers=1, journal=None, resume=False,
         pending = [exp for exp in plan.experiments
                    if exp.experiment_id not in records]
         tracker = ProgressTracker(sink, plan.duration, len(plan),
-                                  skipped=len(records))
+                                  skipped=len(records),
+                                  perf=campaign.perf_rates)
         tracker.start()
 
         def commit(experiment_id, record):
@@ -238,9 +269,17 @@ def execute_plan(campaign, plan, workers=1, journal=None, resume=False,
             tracker.experiment(record)
 
         if workers <= 1 or len(pending) <= 1:
-            for exp in pending:
-                commit(exp.experiment_id,
-                       result_to_record(campaign.run_planned(exp)))
+            if campaign.batched and len(pending) > 1:
+                size = campaign.batch_size
+                for lo in range(0, len(pending), size):
+                    chunk = pending[lo:lo + size]
+                    for exp, result in zip(
+                            chunk, campaign.run_planned_batch(chunk)):
+                        commit(exp.experiment_id, result_to_record(result))
+            else:
+                for exp in pending:
+                    commit(exp.experiment_id,
+                           result_to_record(campaign.run_planned(exp)))
         else:
             _run_parallel(campaign, pending, workers, commit, timeout,
                           retries, batch_size)

@@ -45,6 +45,10 @@ class TelemetryEvent:
     quadrant: str = None  # experiment events only
     checker: str = None  # experiment events only (detections)
     checker_counts: dict = field(default_factory=dict)
+    # Wall-clock throughput counters (Campaign.perf_rates snapshot):
+    # experiments/s, instructions/s, lane-eviction rate and the raw
+    # batched-engine counters.  None when the engine exposes none.
+    perf: dict = None
 
     @property
     def executed(self):
@@ -82,6 +86,7 @@ def event_to_dict(event):
         "checker_counts": dict(event.checker_counts),
         "throughput": round(event.throughput, 6),
         "eta_seconds": None if eta is None else round(eta, 6),
+        "perf": None if event.perf is None else dict(event.perf),
     }
 
 
@@ -240,13 +245,14 @@ def coerce_sink(progress=None, telemetry=None):
 class ProgressTracker:
     """Engine-side helper that turns commits into TelemetryEvents."""
 
-    def __init__(self, sink, duration, total, skipped=0):
+    def __init__(self, sink, duration, total, skipped=0, perf=None):
         self.sink = sink
         self.duration = duration
         self.total = total
         self.skipped = skipped
         self.completed = skipped
         self.checker_counts = {}
+        self.perf = perf  # zero-arg callable returning a rates dict
         self._started = time.monotonic()
 
     def _event(self, kind, quadrant=None, checker=None):
@@ -254,7 +260,8 @@ class ProgressTracker:
             kind=kind, duration=self.duration, completed=self.completed,
             total=self.total, elapsed=time.monotonic() - self._started,
             skipped=self.skipped, quadrant=quadrant, checker=checker,
-            checker_counts=dict(self.checker_counts))
+            checker_counts=dict(self.checker_counts),
+            perf=self.perf() if self.perf is not None else None)
 
     def start(self):
         self.sink.event(self._event(EVENT_START))

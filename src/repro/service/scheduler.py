@@ -139,11 +139,18 @@ class CampaignSpec:
     # only ever holds full-simulation results either mode can consume.
     hybrid: bool = False
     spot_check_rate: float = 0.05
+    # Batched (structure-of-arrays) execution.  Content-key-neutral like
+    # ``workers=``: the batched engine runs the very same per-experiment
+    # loops from identical warm-start states, so every experiment keeps
+    # its id, derived seed, classification and content key for any
+    # batched/batch_size setting (tests/test_batched.py proves it).
+    batched: bool = False
+    batch_size: int = 64
 
     _FIELDS = ("workload", "source", "experiments", "duration", "seed",
                "run_slack", "include_double_bits", "use_checkpoints",
                "checkpoint_interval", "priority", "plan_start", "plan_stop",
-               "hybrid", "spot_check_rate")
+               "hybrid", "spot_check_rate", "batched", "batch_size")
 
     @classmethod
     def from_dict(cls, payload):
@@ -187,6 +194,10 @@ class CampaignSpec:
         if not isinstance(self.spot_check_rate, (int, float)) \
                 or not 0.0 <= self.spot_check_rate <= 1.0:
             raise SpecError("spot_check_rate must be a number in [0, 1]")
+        if not isinstance(self.batched, bool):
+            raise SpecError("batched must be a bool")
+        if not isinstance(self.batch_size, int) or self.batch_size < 1:
+            raise SpecError("batch_size must be a positive int")
         if (self.plan_start is None) != (self.plan_stop is None):
             raise SpecError("plan_start and plan_stop go together")
         if self.plan_start is not None:
@@ -233,7 +244,9 @@ class CampaignSpec:
                         use_checkpoints=self.use_checkpoints,
                         checkpoint_interval=self.checkpoint_interval,
                         hybrid=self.hybrid,
-                        spot_check_rate=self.spot_check_rate)
+                        spot_check_rate=self.spot_check_rate,
+                        batched=self.batched,
+                        batch_size=self.batch_size)
 
 
 def _summary_to_dict(summary):
@@ -698,12 +711,17 @@ class JobScheduler:
                     shards = [shard for shard in shards if shard]
                     results = []
                     for chunk in executor.map(pool_mod._run_batch, shards):
-                        results.extend(chunk)
+                        pool_mod.merge_perf(campaign, chunk["perf"])
+                        results.extend(chunk["pairs"])
                     by_id = dict(results)
                     return [(exp.experiment_id, by_id[exp.experiment_id])
                             for exp in batch]
             except (OSError, ValueError, PermissionError):
                 pass  # cannot spawn processes here; run in-process below
+        if campaign.batched and len(batch) > 1:
+            return [(exp.experiment_id, result_to_record(result))
+                    for exp, result in zip(batch,
+                                           campaign.run_planned_batch(batch))]
         return [(exp.experiment_id,
                  result_to_record(campaign.run_planned(exp)))
                 for exp in batch]

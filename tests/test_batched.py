@@ -1,0 +1,360 @@
+"""Differential proof that batched execution is a pure acceleration.
+
+The batched engine (:mod:`repro.cpu.batched`) classifies experiment
+phases analytically against the golden stream and evicts undecidable
+lanes to the very same scalar loops the unbatched campaign runs.  These
+tests pin the contract from the issue:
+
+* **workload sweep** - several workloads x transient/permanent produce
+  *bit-identical* journal records batched vs scalar;
+* **forced divergence** - traps (corrupted instruction words), wild
+  jumps (branch-target upsets) and hangs (watchdog stalls) all evict to
+  the scalar path and classify identically;
+* **grouping invariance** - batch_size 1, 7 and 64 agree, and
+  ``run_planned_batch`` of any chunking equals ``run_planned`` one by
+  one (the property the pool and the service scheduler lean on);
+* **composition** - batched + checkpoints + hybrid synthesis together
+  still match the scalar hybrid campaign;
+* **content-key neutrality** - experiment keys and campaign specs are
+  unchanged by the batched/batch_size knobs, like ``workers=``;
+* **backend** - the numpy column backend (when numpy is installed) is
+  record-identical to the list/bisect backend, and backend resolution
+  honours the explicit flag and the ``ARGUS_REPRO_NUMPY`` env opt-in.
+"""
+
+import builtins
+
+import pytest
+
+from repro.cpu.batched import BatchedEngine, resolve_backend
+from repro.faults.campaign import Campaign
+from repro.faults.model import INTERMITTENT, PERMANENT, TRANSIENT, FaultSpec
+from repro.faults.stress import build_stress_program
+from repro.runner.journal import result_to_record
+from repro.runner.plan import plan_campaign
+from repro.runner.pool import execute_plan
+from repro.runner.telemetry import event_to_dict
+from repro.service.scheduler import CampaignSpec, SpecError
+from repro.toolchain import embed_program
+from repro.workloads import MESA
+from repro.workloads.fuzz import generate_program
+
+SMALL = """
+start:  li   r1, 5
+        li   r2, 0
+        la   r6, buf
+loop:   add  r2, r2, r1
+        sw   r2, 0(r6)
+        addi r1, r1, -1
+        sfgtsi r1, 0
+        bf   loop
+        nop
+        mul  r3, r2, r2
+        sw   r3, 4(r6)
+        halt
+        .data
+buf:    .word 0, 0
+"""
+
+_EMBEDDED = {}
+
+
+def _embedded(name):
+    """Build each workload's embedded program once per test session."""
+    if name not in _EMBEDDED:
+        builders = {
+            "small": lambda: embed_program(SMALL),
+            "stress": build_stress_program,
+            "fuzz": lambda: embed_program(generate_program(1234)),
+            "mesa": MESA.build_embedded,
+        }
+        _EMBEDDED[name] = builders[name]()
+    return _EMBEDDED[name]
+
+
+WORKLOADS = ["small", "stress", "fuzz", "mesa"]
+DURATIONS = [TRANSIENT, PERMANENT]
+
+
+def _records(campaign, experiments, duration):
+    summary = campaign.run(experiments=experiments, duration=duration)
+    return [result_to_record(result) for result in summary.results]
+
+
+# -- workload sweep --------------------------------------------------------
+
+@pytest.mark.parametrize("duration", DURATIONS)
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_batched_matches_scalar(name, duration):
+    """Same seed, same workload: batched records == scalar records."""
+    embedded = _embedded(name)
+    scalar = Campaign(embedded=embedded, seed=21)
+    batched = Campaign(embedded=embedded, seed=21, batched=True,
+                       batch_size=16)
+    assert _records(batched, 40, duration) == _records(scalar, 40, duration)
+    assert batched.perf["lanes"] > 0
+    assert batched.perf["experiments"] == 40
+
+
+# -- forced divergence: every eviction flavour -----------------------------
+
+#: (label, spec, duration): faults chosen to force trap / wild-jump /
+#: hang behaviour so the eviction path (not just synthesis) is exercised.
+EVICTION_CASES = [
+    ("trap-opcode", FaultSpec("if.inst", 1 << 27), TRANSIENT),
+    ("trap-decode", FaultSpec("id.word.fu", 1 << 30), PERMANENT),
+    ("wild-jump", FaultSpec("ctl.btarget", 1 << 14), TRANSIENT),
+    ("wild-jump-state", FaultSpec("state.pc", 1 << 9, is_state=True),
+     TRANSIENT),
+    ("hang", FaultSpec("ctl.hang", 1), TRANSIENT),
+    ("hang-permanent", FaultSpec("ctl.hang", 1), PERMANENT),
+]
+
+
+@pytest.mark.parametrize("label,spec,duration", EVICTION_CASES,
+                         ids=[case[0] for case in EVICTION_CASES])
+def test_forced_divergence_evicts_identically(label, spec, duration):
+    embedded = _embedded("stress")
+    scalar = Campaign(embedded=embedded, seed=3)
+    batched = Campaign(embedded=embedded, seed=3, batched=True)
+    scalar.golden_trace()
+    inject_ats = [5, 57, 203]
+    got = batched._run_batch_entries(
+        [(spec, duration, at, False) for at in inject_ats])
+    want = [scalar._execute(spec, duration, at) for at in inject_ats]
+    assert ([result_to_record(r) for r in got]
+            == [result_to_record(r) for r in want])
+    assert batched.perf["evicted_lanes"] > 0
+
+
+def test_rf_transient_read_on_checkpoint_boundary():
+    """Regression: a register-file transient whose first read lands
+    exactly on a checkpoint-interval boundary must not falsely
+    reconverge - the lane's flip has to be applied before the masking
+    loop's entry-step reconvergence probe."""
+    import bisect
+
+    embedded = _embedded("stress")
+    batched = Campaign(embedded=embedded, seed=0, batched=True)
+    engine = batched._engine_or_none()
+    interval = batched.checkpoints().interval
+    found = None
+    for reg in range(1, 32):
+        for step in engine._reg_reads[reg]:
+            if step == 0 or step % interval != 0:
+                continue
+            writes = engine._reg_writes[reg]
+            wi = bisect.bisect_left(writes, step)
+            inject_at = (writes[wi - 1] + 1) if wi > 0 else 0
+            first_read, first_write = engine._reg_first_read_write(
+                reg, inject_at)
+            if first_read == step and (first_write is None
+                                       or first_write >= first_read):
+                found = (reg, inject_at)
+                break
+        if found:
+            break
+    if found is None:
+        pytest.skip("no boundary-aligned register read in this golden run")
+    reg, inject_at = found
+    spec = FaultSpec("state.rf.value", 2, index=reg, is_state=True)
+    scalar = Campaign(embedded=embedded, seed=0)
+    scalar.golden_trace()
+    got = batched._run_batch_entries([(spec, TRANSIENT, inject_at, False)])
+    want = scalar._execute(spec, TRANSIENT, inject_at)
+    assert result_to_record(got[0]) == result_to_record(want)
+
+
+# -- grouping invariance ---------------------------------------------------
+
+def test_batch_size_equivalence():
+    """batch_size 1, 7 and 64 produce identical records."""
+    embedded = _embedded("stress")
+    reference = None
+    for size in (1, 7, 64):
+        campaign = Campaign(embedded=embedded, seed=9, batched=True,
+                            batch_size=size)
+        records = _records(campaign, 50, TRANSIENT)
+        if reference is None:
+            reference = records
+        else:
+            assert records == reference
+
+
+def test_planned_batch_matches_planned_one_by_one():
+    """Any chunking of a plan equals running each experiment alone."""
+    embedded = _embedded("stress")
+    scalar = Campaign(embedded=embedded, seed=4)
+    plan = plan_campaign(scalar.points, 30, TRANSIENT, seed=4)
+    want = [result_to_record(scalar.run_planned(exp))
+            for exp in plan.experiments]
+    batched = Campaign(embedded=embedded, seed=4, batched=True, batch_size=8)
+    experiments = list(plan.experiments)
+    got = []
+    for lo in (0, 11, 23):  # deliberately ragged chunks
+        hi = {0: 11, 11: 23, 23: 30}[lo]
+        got.extend(result_to_record(result) for result in
+                   batched.run_planned_batch(experiments[lo:hi]))
+    assert got == want
+
+
+def test_execute_plan_batched_matches_scalar():
+    """The planned engine's serial batched path is plan-identical."""
+    embedded = _embedded("stress")
+    scalar = Campaign(embedded=embedded, seed=5)
+    plan = plan_campaign(scalar.points, 32, PERMANENT, seed=5)
+    want = execute_plan(scalar, plan, workers=1)
+    batched = Campaign(embedded=embedded, seed=5, batched=True, batch_size=16)
+    got = execute_plan(batched, plan, workers=1)
+    assert ([result_to_record(r) for r in got.results]
+            == [result_to_record(r) for r in want.results])
+    assert batched.perf["experiments"] == 32
+
+
+# -- composition -----------------------------------------------------------
+
+@pytest.mark.parametrize("duration", DURATIONS)
+def test_hybrid_batched_composition(duration):
+    """batched + checkpoints + hybrid synthesis == scalar hybrid."""
+    embedded = _embedded("stress")
+    scalar = Campaign(embedded=embedded, seed=13, hybrid=True)
+    batched = Campaign(embedded=embedded, seed=13, hybrid=True,
+                       batched=True, batch_size=16)
+    assert _records(batched, 60, duration) == _records(scalar, 60, duration)
+
+
+def test_batched_without_checkpoints_degrades_to_scalar():
+    """No checkpoint store -> no engine; results still correct."""
+    embedded = _embedded("stress")
+    scalar = Campaign(embedded=embedded, seed=6, use_checkpoints=False)
+    batched = Campaign(embedded=embedded, seed=6, use_checkpoints=False,
+                       batched=True)
+    assert _records(batched, 20, TRANSIENT) == _records(scalar, 20, TRANSIENT)
+    assert batched._engine_or_none() is None
+
+
+def test_intermittent_entries_take_scalar_path():
+    """Durations the engine rejects route through the scalar loop."""
+    embedded = _embedded("stress")
+    scalar = Campaign(embedded=embedded, seed=8)
+    batched = Campaign(embedded=embedded, seed=8, batched=True)
+    scalar.golden_trace()
+    spec = FaultSpec("ex.alu.result", 1 << 4)
+    got = batched._run_batch_entries([(spec, INTERMITTENT, 40, False)])
+    want = scalar._execute(spec, INTERMITTENT, 40)
+    assert result_to_record(got[0]) == result_to_record(want)
+
+
+def test_run_batch_rejects_unknown_duration():
+    campaign = Campaign(embedded=_embedded("stress"), batched=True)
+    engine = campaign._engine_or_none()
+    assert isinstance(engine, BatchedEngine)
+    spec = FaultSpec("ex.alu.result", 1 << 4)
+    with pytest.raises(ValueError):
+        engine.run_batch([(spec, INTERMITTENT, 3, True, True)])
+
+
+# -- content-key / spec neutrality -----------------------------------------
+
+def test_campaign_spec_carries_batched_knobs():
+    spec = CampaignSpec.from_dict(
+        {"workload": "stress", "batched": True, "batch_size": 7})
+    spec.validate()
+    campaign = spec.build_campaign()
+    assert campaign.batched is True
+    assert campaign.batch_size == 7
+    assert spec.to_dict()["batched"] is True
+    with pytest.raises(SpecError):
+        CampaignSpec.from_dict({"batch_size": 0}).validate()
+    with pytest.raises(SpecError):
+        CampaignSpec.from_dict({"batched": 1}).validate()
+
+
+def test_experiment_keys_ignore_batched_knobs():
+    """Content keys hash binary + spec + seed - never execution knobs -
+    so batched and scalar runs share one result cache."""
+    from repro.service.store import plan_keys
+
+    scalar = Campaign(embedded=_embedded("stress"), seed=2)
+    plan = plan_campaign(scalar.points, 10, TRANSIENT, seed=2)
+    digest = "0" * 64
+    assert plan_keys(digest, plan, 1.25) == plan_keys(digest, plan, 1.25)
+    spec_a = CampaignSpec.from_dict({"workload": "stress"})
+    spec_b = CampaignSpec.from_dict(
+        {"workload": "stress", "batched": True, "batch_size": 7})
+    campaign_a, campaign_b = spec_a.build_campaign(), spec_b.build_campaign()
+    plan_a = plan_campaign(campaign_a.points, 10, TRANSIENT, seed=0)
+    plan_b = plan_campaign(campaign_b.points, 10, TRANSIENT, seed=0)
+    assert plan_a.fingerprint() == plan_b.fingerprint()
+
+
+# -- perf counters / telemetry ---------------------------------------------
+
+def test_perf_counters_and_telemetry_events():
+    events = []
+    campaign = Campaign(embedded=_embedded("stress"), seed=2, batched=True,
+                        batch_size=8)
+    campaign.run(experiments=24, duration=TRANSIENT, telemetry=events.append)
+    perf = campaign.perf_rates()
+    assert perf["experiments"] == 24
+    assert perf["experiments_per_second"] > 0
+    assert perf["instructions_per_second"] > 0
+    assert 0.0 <= perf["eviction_rate"] <= 1.0
+    assert perf["lanes"] == (perf["synthesized_lanes"]
+                             + perf["evicted_lanes"])
+    finish = [e for e in events if e.kind == "finish"][-1]
+    assert finish.perf["experiments"] == 24
+    assert event_to_dict(finish)["perf"]["lanes"] == finish.perf["lanes"]
+
+
+def test_scalar_campaign_also_reports_perf():
+    """Throughput counters exist (zero lanes) on the scalar path too."""
+    campaign = Campaign(embedded=_embedded("small"), seed=1)
+    campaign.run(experiments=5, duration=TRANSIENT)
+    perf = campaign.perf_rates()
+    assert perf["experiments"] == 5
+    assert perf["lanes"] == 0
+    assert perf["eviction_rate"] == 0.0
+    assert perf["experiments_per_second"] > 0
+
+
+# -- backend resolution and numpy column backend ---------------------------
+
+def test_resolve_backend_explicit_and_env(monkeypatch):
+    monkeypatch.delenv("ARGUS_REPRO_NUMPY", raising=False)
+    assert resolve_backend() == ("python", None)
+    assert resolve_backend("python") == ("python", None)
+    with pytest.raises(ValueError):
+        resolve_backend("vector")
+    for off in ("0", "false", "no", ""):
+        monkeypatch.setenv("ARGUS_REPRO_NUMPY", off)
+        assert resolve_backend()[0] == "python"
+    monkeypatch.setenv("ARGUS_REPRO_NUMPY", "1")
+    assert resolve_backend()[0] in ("numpy", "python")  # installed or not
+
+
+def test_resolve_backend_numpy_missing(monkeypatch):
+    real_import = builtins.__import__
+
+    def no_numpy(name, *args, **kwargs):
+        if name == "numpy":
+            raise ImportError("numpy unavailable")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "__import__", no_numpy)
+    with pytest.raises(ValueError):
+        resolve_backend("numpy")  # explicit request must not degrade
+    monkeypatch.setenv("ARGUS_REPRO_NUMPY", "1")
+    assert resolve_backend() == ("python", None)  # env opt-in falls back
+
+
+def test_numpy_backend_records_identical():
+    pytest.importorskip("numpy")
+    embedded = _embedded("stress")
+    plain = Campaign(embedded=embedded, seed=17, batched=True, batch_size=16)
+    vectored = Campaign(embedded=embedded, seed=17, batched=True,
+                        batch_size=16, backend="numpy")
+    assert (_records(vectored, 60, TRANSIENT)
+            == _records(plain, 60, TRANSIENT))
+    assert vectored._engine.backend == "numpy"
+    assert plain._engine.backend == "python"
