@@ -1,0 +1,180 @@
+"""Diagnosis accuracy: localization top-1/3/5 and repair success rates.
+
+Two questions, measured per workload:
+
+* **Localization** - inject a known fault family over and over
+  (single-bit transients), hand only the resulting checker attributions
+  to :func:`repro.diagnosis.localize.diagnose_records`, and ask where
+  the true family lands in the ranking.  Reported as top-1/3/5 accuracy
+  over the heaviest statically-detectable families
+  (:func:`repro.diagnosis.evaluate.evaluate_localization`).
+* **Repair** - corrupt the embedded text with storage upsets
+  (single-bit, adjacent-pair, 3 random bits), run
+  :func:`repro.diagnosis.repair.repair_program` with the header CRC,
+  and count bit-identical restorations.
+
+Both sweeps are seed-pinned and re-run to assert bit-identical results
+(diagnosis must be deterministic to be trustworthy).  The committed
+``BENCH_diagnosis_localization.json`` (regenerate with
+``python benchmarks/bench_diagnosis_localization.py``) documents the
+accuracy on the default budgets; the acceptance bars are top-3 >= 0.90
+for localization and 1.0 single-bit repair on every workload.
+
+Budgets via ``ARGUS_DIAGNOSIS_DETECTIONS`` (default 50 detections per
+family), ``ARGUS_DIAGNOSIS_FAMILIES`` (default 10 families per
+workload) and ``ARGUS_DIAGNOSIS_REPAIRS`` (default 48/32/16 scaled by
+this factor, default 1.0); output via ``ARGUS_DIAGNOSIS_RECORD``.
+"""
+
+import json
+import os
+import random
+import zlib
+
+from repro.diagnosis import repair_program
+from repro.diagnosis.evaluate import evaluate_family, evaluate_localization
+from repro.diagnosis.localize import build_family_profiles, diagnose_records
+from repro.diagnosis.repair import text_digest
+from repro.faults.storage import corrupt_program, generate_storage_faults
+from repro.workloads import iter_analysis_targets
+
+BENCH_WORKLOADS = ("mpeg2", "rasta", "adpcm_enc")
+SEED = 2007
+DETECTIONS = int(os.environ.get("ARGUS_DIAGNOSIS_DETECTIONS", "50"))
+FAMILIES = int(os.environ.get("ARGUS_DIAGNOSIS_FAMILIES", "10"))
+REPAIR_SCALE = float(os.environ.get("ARGUS_DIAGNOSIS_REPAIRS", "1.0"))
+RECORD_PATH = os.environ.get(
+    "ARGUS_DIAGNOSIS_RECORD",
+    os.path.join(os.path.dirname(__file__),
+                 "BENCH_diagnosis_localization.json"))
+
+
+def measure_localization(workloads=BENCH_WORKLOADS, seed=SEED):
+    return evaluate_localization(
+        workloads=workloads, seed=seed, detections_target=DETECTIONS,
+        max_attempts=max(4 * DETECTIONS, 120), max_families=FAMILIES)
+
+
+def measure_repair(workloads=BENCH_WORKLOADS, seed=SEED):
+    """Storage-upset repair success per scenario, per workload."""
+    sizes = {"single_bit": max(int(48 * REPAIR_SCALE), 4),
+             "adjacent_pair": max(int(32 * REPAIR_SCALE), 4),
+             "random_3bit": max(int(16 * REPAIR_SCALE), 2)}
+    out = {}
+    for name, workload in iter_analysis_targets(workloads):
+        embedded = workload.build_embedded()
+        program = embedded.program
+        crc = text_digest(program.words)
+        rng = random.Random(zlib.crc32(("repair/%s/%d" % (name, seed))
+                                       .encode()))
+        rows = {}
+        for scenario, count in sizes.items():
+            faults = generate_storage_faults(len(program.words), scenario,
+                                             count, rng)
+            repaired = ambiguous = 0
+            for flips in faults:
+                outcome = repair_program(corrupt_program(program, flips),
+                                         entry_dcs=embedded.entry_dcs,
+                                         text_crc=crc, oracle=False)
+                if (outcome.status == "repaired"
+                        and outcome.program.words == program.words):
+                    repaired += 1
+                elif outcome.status == "ambiguous":
+                    ambiguous += 1
+            rows[scenario] = {
+                "trials": len(faults),
+                "repaired": repaired,
+                "ambiguous": ambiguous,
+                "success": round(repaired / len(faults), 4),
+            }
+        out[name] = rows
+    return out
+
+
+def check_determinism(localization, seed=SEED):
+    """Re-run one family's mini-campaign and re-rank: bit-identical."""
+    from repro.analysis.coverage import build_static_coverage_map
+    from repro.faults.campaign import Campaign
+
+    ((name, workload),) = iter_analysis_targets(BENCH_WORKLOADS[:1])
+    embedded = workload.build_embedded()
+    campaign = Campaign(embedded=embedded, seed=seed)
+    coverage_map = build_static_coverage_map(embedded=embedded,
+                                             points=campaign.points)
+    profiles = build_family_profiles(coverage_map)
+    first_row = next(row for row in localization["workloads"][name]["rows"]
+                     if row["detections"] > 0)
+    from repro.diagnosis.evaluate import _family_seed
+
+    rerun = evaluate_family(
+        campaign, profiles, first_row["target"], first_row["index"],
+        seed=_family_seed(name, first_row["target"], first_row["index"],
+                          seed),
+        detections_target=DETECTIONS, max_attempts=max(4 * DETECTIONS, 120))
+    assert rerun == first_row, (
+        "localization mini-campaign is not deterministic: %r != %r"
+        % (rerun, first_row))
+    # Ranking itself must also be pure.
+    ranking = diagnose_records([], profiles=profiles)
+    again = diagnose_records([], profiles=profiles)
+    assert [(p.key, s) for p, s in ranking.entries] == \
+        [(p.key, s) for p, s in again.entries]
+
+
+def build_record(localization, repair):
+    overall = localization["overall"]
+    workloads = {}
+    for name, summary in localization["workloads"].items():
+        workloads[name] = {
+            "families": summary["families"],
+            "silent": summary["silent"],
+            "top1_accuracy": summary["top1_accuracy"],
+            "top3_accuracy": summary["top3_accuracy"],
+            "top5_accuracy": summary["top5_accuracy"],
+            "repair": repair[name],
+        }
+    return {
+        "seed": SEED,
+        "detections_per_family": DETECTIONS,
+        "families_per_workload": FAMILIES,
+        "localization_overall": {
+            "families": overall["families"],
+            "top1_accuracy": round(overall["top1_accuracy"], 4),
+            "top3_accuracy": round(overall["top3_accuracy"], 4),
+            "top5_accuracy": round(overall["top5_accuracy"], 4),
+        },
+        "workloads": workloads,
+    }
+
+
+def test_diagnosis_localization(benchmark):
+    results = {}
+
+    def measure():
+        results["localization"] = measure_localization()
+        results["repair"] = measure_repair()
+        return results
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    check_determinism(results["localization"])
+    record = build_record(results["localization"], results["repair"])
+    assert record["localization_overall"]["top3_accuracy"] >= 0.90
+    for name, row in record["workloads"].items():
+        assert row["repair"]["single_bit"]["success"] == 1.0, name
+    benchmark.extra_info.update(record["localization_overall"])
+    print("\n  " + json.dumps(record, sort_keys=True))
+
+
+def main():
+    localization = measure_localization()
+    repair = measure_repair()
+    check_determinism(localization)
+    record = build_record(localization, repair)
+    with open(RECORD_PATH, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(record, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

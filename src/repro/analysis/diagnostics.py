@@ -51,6 +51,13 @@ CODES = {
                         "overwritten before any read on every path"),
     "ARG019": (ERROR, "masking-timeline verdict contradicts the per-point "
                       "coverage-audit class"),
+    # -- diagnosis and binary repair (repro.diagnosis.repair) ------------
+    "ARG020": (WARNING, "corrupted word(s) localized and repaired from "
+                        "signature/CRC residues"),
+    "ARG021": (WARNING, "repair ambiguous: multiple minimal edits restore "
+                        "all signatures"),
+    "ARG022": (ERROR, "unrepairable corruption: no edit within the flip "
+                      "budget restores all signatures"),
 }
 
 

@@ -207,8 +207,8 @@ class ModuloChecker:
         value &= 0xFFFFFFFFFFFFFFFF
         return value - 0x10000000000000000 if value & 0x8000000000000000 else value
 
-    def check_mul(self, op, a, b, product64):
-        """Check a 32x32->64 multiply against its operand residues."""
+    def residues_mul(self, op, a, b, product64):
+        """(operand-side, product-side) residues of a multiply check."""
         m = self.modulus
         if op is Op.MUL:
             sa, sb = to_signed(a), to_signed(b)
@@ -218,10 +218,15 @@ class ModuloChecker:
             product = product64 & 0xFFFFFFFFFFFFFFFF
         lhs = self._tap("chk.mod.lhs", (self._mod(sa) * self._mod(sb)) % m)
         rhs = self._tap("chk.mod.rhs", self._mod(product))
+        return lhs, rhs
+
+    def check_mul(self, op, a, b, product64):
+        """Check a 32x32->64 multiply against its operand residues."""
+        lhs, rhs = self.residues_mul(op, a, b, product64)
         return lhs == rhs
 
-    def check_div(self, op, a, b, quotient, remainder):
-        """Check a divide via B*Q = A - R in residue arithmetic."""
+    def residues_div(self, op, a, b, quotient, remainder):
+        """(B*Q, A-R) residues of a division check."""
         m = self.modulus
         if op is Op.DIV:
             sa, sb = to_signed(a), to_signed(b)
@@ -231,6 +236,11 @@ class ModuloChecker:
             sq, sr = quotient & WORD_MASK, remainder & WORD_MASK
         lhs = self._tap("chk.mod.lhs", (self._mod(sb) * self._mod(sq)) % m)
         rhs = self._tap("chk.mod.rhs", (self._mod(sa) - self._mod(sr)) % m)
+        return lhs, rhs
+
+    def check_div(self, op, a, b, quotient, remainder):
+        """Check a divide via B*Q = A - R in residue arithmetic."""
+        lhs, rhs = self.residues_div(op, a, b, quotient, remainder)
         return lhs == rhs
 
     # -- algebra hooks for the static coverage audit ---------------------

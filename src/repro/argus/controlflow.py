@@ -47,6 +47,9 @@ class ControlFlowChecker:
                 % (computed, expected, kind),
                 pc=pc, cycle=cycle, instret=instret,
                 block_index=self.blocks_checked,
+                payload={"kind": kind, "computed": computed,
+                         "expected": expected,
+                         "delta": computed ^ expected},
             )
         if kind == "cond":
             if taken is None:

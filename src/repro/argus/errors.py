@@ -7,7 +7,8 @@ detection carries a ``checker`` tag from the same taxonomy so the
 evaluation harness can regenerate that attribution.
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
 CHECKER_COMPUTATION = "computation"
 CHECKER_PARITY = "parity"
@@ -26,7 +27,15 @@ ALL_CHECKERS = (
 
 @dataclass(frozen=True)
 class DetectionEvent:
-    """A checker firing: what fired, where, and when."""
+    """A checker firing: what fired, where, and when.
+
+    ``payload`` carries the raw checker residues available at the raise
+    site (DCS computed/expected/delta, parity port and register, modulo
+    residues, memory address, watchdog class) as a JSON-ready dict -
+    the diagnosis engine (:mod:`repro.diagnosis`) inverts these through
+    the checker algebra to localize the faulty signal.  ``None`` means
+    the checker exposes no residues beyond its detail string.
+    """
 
     checker: str
     detail: str
@@ -34,6 +43,7 @@ class DetectionEvent:
     cycle: int = 0
     instret: int = 0
     block_index: int = 0
+    payload: Optional[dict] = field(default=None, compare=False)
 
     def __str__(self):
         return "[%s] %s at pc=0x%x cycle=%d" % (self.checker, self.detail, self.pc, self.cycle)
@@ -45,7 +55,8 @@ class ArgusError(Exception):
 
     checker = "argus"
 
-    def __init__(self, detail, pc=0, cycle=0, instret=0, block_index=0):
+    def __init__(self, detail, pc=0, cycle=0, instret=0, block_index=0,
+                 payload=None):
         super().__init__(detail)
         self.event = DetectionEvent(
             checker=self.checker,
@@ -54,6 +65,7 @@ class ArgusError(Exception):
             cycle=cycle,
             instret=instret,
             block_index=block_index,
+            payload=payload,
         )
 
 

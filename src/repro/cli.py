@@ -804,6 +804,111 @@ def cmd_journal_compact(args):
     return 0
 
 
+def cmd_diagnose(args):
+    """Rank candidate fault families from a campaign journal."""
+    import json
+
+    from repro.analysis.coverage import build_static_coverage_map
+    from repro.diagnosis import build_family_profiles, diagnose_records
+    from repro.runner.journal import Journal
+    from repro.workloads import iter_analysis_targets
+
+    journal = Journal(args.journal).load()
+    records = [entry for entry in journal.records.values()]
+    if not records:
+        print("diagnose: journal %s holds no result records" % args.journal,
+              file=sys.stderr)
+        return 2
+    embedded = None
+    if args.workload:
+        ((__, workload),) = iter_analysis_targets((args.workload,))
+        if workload is None:
+            print("diagnose: unknown workload %r" % args.workload,
+                  file=sys.stderr)
+            return 2
+        embedded = workload.build_embedded()
+    coverage_map = build_static_coverage_map(embedded=embedded)
+    profiles = build_family_profiles(coverage_map)
+    ranking = diagnose_records(records, profiles=profiles)
+    if ranking.detections == 0:
+        print("diagnose: no detected records (nothing to attribute)",
+              file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(json.dumps(ranking.to_dict(limit=args.top), indent=2,
+                         sort_keys=True))
+        return 0
+    print("%d detection(s) across %d record(s); top %d candidate "
+          "families:" % (ranking.detections, len(records), args.top))
+    for rank, (profile, score) in enumerate(ranking.entries[:args.top],
+                                            start=1):
+        print("  %2d. %-24s score %8.2f  (weight %.1f, checkers: %s)"
+              % (rank, profile.label, score, profile.weight,
+                 "/".join(sorted(profile.detected_by)) or "-"))
+    return 0
+
+
+def cmd_repair(args):
+    """Localize and undo storage bit flips in an embedded object file."""
+    import json
+
+    from repro.diagnosis import repair_program
+    from repro.io import load_raw, save_embedded
+    from repro.io.objfile import ObjFileError
+    from repro.toolchain import EmbedError, verify_embedding
+
+    try:
+        program, header = load_raw(args.input)
+    except (OSError, ObjFileError, ValueError) as exc:
+        print("repair: cannot load %s: %s" % (args.input, exc),
+              file=sys.stderr)
+        return 2
+    if header.get("kind") != "embedded":
+        print("repair: %s is not an embedded object" % args.input,
+              file=sys.stderr)
+        return 2
+    outcome = repair_program(program,
+                             entry_dcs=header.get("entry_dcs"),
+                             text_crc=header.get("text_crc"),
+                             max_flips=args.max_flips)
+    if args.format == "json":
+        print(json.dumps(outcome.to_dict(), indent=2, sort_keys=True))
+    else:
+        if outcome.status == "clean":
+            print("%s: intact - all signatures verify" % args.input)
+        elif outcome.status == "repaired":
+            print("%s: ARG020 corrupted word(s) localized and repaired:"
+                  % args.input)
+            for address, old, new in outcome.edits:
+                print("  0x%08x: 0x%08x -> 0x%08x" % (address, old, new))
+        elif outcome.status == "ambiguous":
+            print("%s: ARG021 ambiguous - %d minimal candidate repairs; "
+                  "none applied" % (args.input, len(outcome.candidates)))
+            for i, candidate in enumerate(outcome.candidates, start=1):
+                for address, old, new in candidate:
+                    print("  [%d] 0x%08x: 0x%08x -> 0x%08x"
+                          % (i, address, old, new))
+        else:
+            print("%s: ARG022 unrepairable within %d-flip budget "
+                  "(%d candidate(s) verified)"
+                  % (args.input, args.max_flips, outcome.verified))
+            for finding in outcome.findings:
+                print("  " + finding.format())
+    if outcome.status == "repaired" and args.output:
+        try:
+            embedded = verify_embedding(outcome.program)
+        except EmbedError as exc:
+            print("repair: repaired image fails re-embedding: %s" % exc,
+                  file=sys.stderr)
+            return 1
+        save_embedded(embedded, args.output)
+        if args.format == "text":
+            print("repaired object written to %s" % args.output)
+    if outcome.status in ("clean", "repaired"):
+        return 0
+    return 1
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="argus-repro",
@@ -1081,6 +1186,32 @@ def build_parser():
              "records and torn lines")
     p.add_argument("path")
     p.set_defaults(func=cmd_journal_compact)
+
+    p = sub.add_parser(
+        "diagnose",
+        help="rank candidate fault locations from a campaign journal's "
+             "checker attributions")
+    p.add_argument("journal", help="campaign journal (JSONL) to diagnose")
+    p.add_argument("--workload", default=None,
+                   help="bundled workload name; sharpens the coverage map "
+                        "to that program's instruction mix")
+    p.add_argument("--top", type=int, default=10,
+                   help="number of ranked families to print (default 10)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.set_defaults(func=cmd_diagnose)
+
+    p = sub.add_parser(
+        "repair",
+        help="localize and undo storage bit flips in an embedded object "
+             "using its signatures (ARG020/ARG021/ARG022)")
+    p.add_argument("input", help="embedded .aro object to repair")
+    p.add_argument("-o", "--output", default=None,
+                   help="write the repaired object here on success")
+    p.add_argument("--max-flips", type=int, default=3,
+                   help="largest corruption (bit count) to search for "
+                        "(default 3)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.set_defaults(func=cmd_repair)
 
     return parser
 

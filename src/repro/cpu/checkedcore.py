@@ -157,9 +157,12 @@ class CheckedCore:
     # and the DCS sees the omission.
     _decode = staticmethod(decode_or_none)
 
-    def _raise(self, exc_class, detail):
+    def _raise(self, exc_class, detail, **payload):
+        # Keyword residues become the DetectionEvent payload the
+        # diagnosis engine inverts (values must stay JSON scalars).
         raise exc_class(detail, pc=self.pc, cycle=self.cycles,
-                        instret=self.instret, block_index=self.block_index)
+                        instret=self.instret, block_index=self.block_index,
+                        payload=payload or None)
 
     # ------------------------------------------------------------------
     def _hang(self):
@@ -168,7 +171,9 @@ class CheckedCore:
             remaining = self.watchdog.threshold - self.watchdog.counter
             self.cycles += max(remaining, 0)
             self.watchdog.fired = True
-            self._raise(WatchdogError, "pipeline stalled beyond watchdog threshold")
+            self._raise(WatchdogError,
+                        "pipeline stalled beyond watchdog threshold",
+                        kind="hang")
         self.hung = True
         return None
 
@@ -192,7 +197,9 @@ class CheckedCore:
 
         if self._chk_dcs:
             if payload_failure is not None:
-                self._raise(ControlFlowError, "payload extraction failed: " + payload_failure)
+                self._raise(ControlFlowError,
+                            "payload extraction failed: " + payload_failure,
+                            kind="payload")
             computed = self._tap("cfc.dcs", dcs_of_file(self.shs))
             try:
                 self.cfc.block_end(
@@ -258,7 +265,8 @@ class CheckedCore:
             cw_chk = canonical_word(chk) if chk is not None else None
             if cw_fu != cw_chk:
                 self._raise(ComputationCheckError,
-                            "instruction copy disagreement (opcode distribution)")
+                            "instruction copy disagreement (opcode distribution)",
+                            unit="copy")
 
         # ---- operand fetch (ports driven by the FU-side decode) --------
         # Hot-loop locals: the flags and register file are touched on
@@ -275,7 +283,8 @@ class CheckedCore:
                 a_par = tap("ex.op_a.par", par, index=fu.ra) & 1
                 if chk_parity and parity32(a_val) != a_par:
                     self._raise(DataflowParityError,
-                                "operand A parity (r%d)" % fu.ra)
+                                "operand A parity (r%d)" % fu.ra,
+                                port="a", reg=fu.ra)
                 if chk_dcs:
                     shs_a = tap("ex.shs_a", self.shs.read(fu.ra)) & 0x1F
             if fu.reads_rb:
@@ -284,7 +293,8 @@ class CheckedCore:
                 b_par = tap("ex.op_b.par", par, index=fu.rb) & 1
                 if chk_parity and parity32(b_val) != b_par:
                     self._raise(DataflowParityError,
-                                "operand B parity (r%d)" % fu.rb)
+                                "operand B parity (r%d)" % fu.rb,
+                                port="b", reg=fu.rb)
                 if chk_dcs:
                     shs_b = tap("ex.shs_b", self.shs.read(fu.rb)) & 0x1F
 
@@ -317,7 +327,8 @@ class CheckedCore:
             new_flag = tap("ex.flag", new_flag) & 1
             if self._chk_comp and not self.adder.check_compare(chk.cond, a_val, rhs, new_flag):
                 self._raise(ComputationCheckError,
-                            "compare sub-checker (%s)" % fu.mnemonic)
+                            "compare sub-checker (%s)" % fu.mnemonic,
+                            unit="compare", op=fu.mnemonic)
             self.flag = new_flag
             if self._chk_dcs:
                 self.cfc_flag = new_flag
@@ -327,7 +338,8 @@ class CheckedCore:
         elif op is Op.MOVHI:
             result = tap("ex.alu.result", (fu.imm << 16) & WORD_MASK)
             if self._chk_comp and not self.adder.check_add((chk.imm << 16) & WORD_MASK, 0, result):
-                self._raise(ComputationCheckError, "movhi sub-checker")
+                self._raise(ComputationCheckError, "movhi sub-checker",
+                            unit="adder", op="movhi")
             wb_value = result
         elif fu.is_muldiv:
             wb_value, extra = self._exec_muldiv(fu, chk, a_val, b_val)
@@ -399,7 +411,8 @@ class CheckedCore:
         self.cycles += 1 + stall
         self.watchdog.tick(False)
         if stall > 0 and self.watchdog.run_stalled(stall) and self._chk_watchdog:
-            self._raise(WatchdogError, "stall exceeded watchdog threshold")
+            self._raise(WatchdogError, "stall exceeded watchdog threshold",
+                        kind="stall")
 
     def _exec_alu(self, fu, chk, a_val, b_val):
         """Register/immediate ALU ops with their sub-checker replays."""
@@ -411,6 +424,7 @@ class CheckedCore:
         if not self._chk_comp:
             return result
         cop = chk.op
+        unit = "adder"
         if cop in (Op.ADD, Op.ADDI):
             ok = self.adder.check_add(a_val, b_val, result)
         elif cop is Op.SUB:
@@ -419,18 +433,24 @@ class CheckedCore:
             ok = self.adder.check_logic(cop, a_val, b_val, result)
         elif cop in (Op.SRL, Op.SRA):
             ok = self.rsse.check_right_shift(cop, a_val, b_val & 31, result)
+            unit = "rsse"
         elif cop in (Op.SRLI, Op.SRAI):
             ok = self.rsse.check_right_shift(cop, a_val, chk.shamt, result)
+            unit = "rsse"
         elif cop is Op.SLL:
             ok = self.rsse.check_left_shift(a_val, b_val & 31, result)
+            unit = "rsse"
         elif cop is Op.SLLI:
             ok = self.rsse.check_left_shift(a_val, chk.shamt, result)
+            unit = "rsse"
         elif cop in (Op.EXTHS, Op.EXTBS, Op.EXTHZ, Op.EXTBZ):
             ok = self.rsse.check_extension(cop, a_val, result)
+            unit = "rsse"
         else:  # pragma: no cover - dispatch is exhaustive for ALU ops
             ok = True
         if not ok:
-            self._raise(ComputationCheckError, "%s sub-checker" % fu.mnemonic)
+            self._raise(ComputationCheckError, "%s sub-checker" % fu.mnemonic,
+                        unit=unit, op=fu.mnemonic)
         return result
 
     def _exec_muldiv(self, fu, chk, a_val, b_val):
@@ -439,14 +459,28 @@ class CheckedCore:
         if op in (Op.MUL, Op.MULU):
             product = tap("ex.mul.product", alu.mul64(op, a_val, b_val))
             product &= 0xFFFFFFFFFFFFFFFF
-            if self._chk_comp and not self.modulo.check_mul(chk.op, a_val, b_val, product):
-                self._raise(ComputationCheckError, "multiplier modulo sub-checker")
+            if self._chk_comp:
+                lhs, rhs = self.modulo.residues_mul(chk.op, a_val, b_val,
+                                                    product)
+                if lhs != rhs:
+                    self._raise(ComputationCheckError,
+                                "multiplier modulo sub-checker",
+                                unit="modulo", op=fu.mnemonic,
+                                modulus=self.modulo.modulus,
+                                expected=lhs, observed=rhs)
             return product & WORD_MASK, self.timing.mul_extra
         quotient, remainder = alu.divide(op, a_val, b_val)
         quotient = tap("ex.div.quotient", quotient) & WORD_MASK
         remainder = tap("ex.div.remainder", remainder) & WORD_MASK
-        if self._chk_comp and not self.modulo.check_div(chk.op, a_val, b_val, quotient, remainder):
-            self._raise(ComputationCheckError, "divider modulo sub-checker")
+        if self._chk_comp:
+            lhs, rhs = self.modulo.residues_div(chk.op, a_val, b_val,
+                                                quotient, remainder)
+            if lhs != rhs:
+                self._raise(ComputationCheckError,
+                            "divider modulo sub-checker",
+                            unit="modulo", op=fu.mnemonic,
+                            modulus=self.modulo.modulus,
+                            expected=lhs, observed=rhs)
         return quotient, self.timing.div_extra
 
     def _exec_branch(self, fu, chk, b_val, pc):
@@ -492,7 +526,8 @@ class CheckedCore:
         op = fu.op
         address = tap("lsu.addr", (a_val + fu.imm) & WORD_MASK)
         if self._chk_comp and not self.adder.check_address(a_val, fu.imm & WORD_MASK, address):
-            self._raise(ComputationCheckError, "load address sub-checker")
+            self._raise(ComputationCheckError, "load address sub-checker",
+                        unit="adder", op=fu.mnemonic)
         eff = address & ADDR_MASK
         word_addr = eff & ~3
         phys = tap("lsu.mem_addr", word_addr) & ADDR_MASK & ~3
@@ -502,7 +537,9 @@ class CheckedCore:
         else:
             event = self.dmem.load_word(word_addr)
         if self._chk_mem and not event.ok:
-            self._raise(MemoryCheckError, "load parity/address check at 0x%x" % word_addr)
+            self._raise(MemoryCheckError,
+                        "load parity/address check at 0x%x" % word_addr,
+                        kind="load", address=word_addr)
         raw = event.value
         offset = eff & 3
         if op is Op.LWZ:
@@ -513,7 +550,8 @@ class CheckedCore:
             extended = alu.sign_extend_load(op, (raw >> (8 * offset)) & 0xFF)
         result = tap("lsu.load_data", extended) & WORD_MASK
         if self._chk_comp and not self.rsse.check_load_extension(chk.op, raw, offset, result):
-            self._raise(ComputationCheckError, "load alignment RSSE sub-checker")
+            self._raise(ComputationCheckError, "load alignment RSSE sub-checker",
+                        unit="rsse", op=fu.mnemonic)
         return result, latency - 1
 
     def _exec_store(self, fu, chk, a_val, b_val):
@@ -521,7 +559,8 @@ class CheckedCore:
         op = fu.op
         address = tap("lsu.addr", (a_val + fu.imm) & WORD_MASK)
         if self._chk_comp and not self.adder.check_address(a_val, fu.imm & WORD_MASK, address):
-            self._raise(ComputationCheckError, "store address sub-checker")
+            self._raise(ComputationCheckError, "store address sub-checker",
+                        unit="adder", op=fu.mnemonic)
         eff = address & ADDR_MASK
         word_addr = eff & ~3
         offset = eff & 3
@@ -533,7 +572,8 @@ class CheckedCore:
             old_event = self.dmem.load_word(word_addr)
             if self._chk_mem and not old_event.ok:
                 self._raise(MemoryCheckError,
-                            "read-modify-write parity check at 0x%x" % word_addr)
+                            "read-modify-write parity check at 0x%x" % word_addr,
+                            kind="rmw", address=word_addr)
             old = old_event.value
             if op is Op.SH:
                 shift = 8 * (offset & 2)
@@ -544,7 +584,8 @@ class CheckedCore:
             merged &= WORD_MASK
             merged_parity = parity32(merged)
             if self._chk_comp and not self.rsse.check_store_merge(chk.op, old, b_val, offset, merged):
-                self._raise(ComputationCheckError, "store merge RSSE sub-checker")
+                self._raise(ComputationCheckError, "store merge RSSE sub-checker",
+                            unit="rsse", op=fu.mnemonic)
         data = tap("lsu.store_data", merged) & WORD_MASK
         phys = tap("lsu.mem_waddr", word_addr) & ADDR_MASK & ~3
         latency = self.mem.dcache.access(phys, is_write=True)

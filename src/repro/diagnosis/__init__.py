@@ -1,0 +1,39 @@
+"""Signature-driven fault diagnosis: close the loop from detection to
+localization and repair.
+
+Argus tells us *that* a core (or its stored binary) went wrong; the
+detection payload - which checker fired, the detection latency, the raw
+checker residues - carries far more information than the binary
+detected/undetected verdict.  This package inverts the static coverage
+audit (:mod:`repro.analysis.coverage`) and the checker algebra hooks
+(:func:`repro.argus.crc.single_bit_syndromes`,
+:func:`repro.argus.dcs.fold_delta`,
+:meth:`repro.argus.checkers.ModuloChecker.single_bit_residues`) into two
+engines:
+
+* **Localization** (:mod:`repro.diagnosis.localize`): rank candidate
+  faulty signals/bits from a campaign's checker-attribution stream.
+* **Repair** (:mod:`repro.diagnosis.repair`): localize and undo storage
+  bit flips in an embedded binary's text segment from the embedded
+  signatures alone, with :func:`repro.analysis.analyze_program` as the
+  acceptance oracle.
+"""
+
+from repro.diagnosis.evaluate import evaluate_localization
+from repro.diagnosis.localize import (FamilyProfile, Ranking,
+                                      build_family_profiles,
+                                      diagnose_records)
+from repro.diagnosis.repair import (RepairOutcome, StrictFinding,
+                                    repair_program, strict_verify)
+
+__all__ = [
+    "FamilyProfile",
+    "Ranking",
+    "RepairOutcome",
+    "StrictFinding",
+    "build_family_profiles",
+    "diagnose_records",
+    "evaluate_localization",
+    "repair_program",
+    "strict_verify",
+]

@@ -1,0 +1,272 @@
+"""Localization: rank candidate faulty signals from attribution streams.
+
+The inputs are the structured ``attribution`` records a campaign journals
+for every executed detection (checker id, firing site, latency triple,
+raw checker residues - see ``_event_attribution`` in
+:mod:`repro.faults.campaign`).  The candidate universe is the injection
+population of :mod:`repro.faults.points` grouped into *families* - one
+``(target, index)`` pair per candidate, e.g. ``("state.rf.value", 7)``
+or ``("ex.alu.result", None)``.
+
+The ranking model is a naive-Bayes-style log score built from three
+static sources, all derived without simulation:
+
+* **checker compatibility** - the static coverage map says which
+  checkers *own* each family's fault class (``detected_by``) and which
+  may fire incidentally through wild control flow (``incidental``).  A
+  detection by an owning checker is strong evidence, by an incidental
+  checker weak evidence, by any other checker near-contradiction.
+* **residue refinement** - the raw payload pins the site inside the
+  checker: a parity residue names the exact register; a computation
+  residue names the sub-checker unit (adder/RSSE/modulo/compare/copy)
+  and the mnemonic, separating e.g. ``lsu.addr`` from ``ex.alu.result``;
+  a DCS delta that is a power of two implicates single-bit checker-state
+  corruption (every flat SHS bit folds to a distinct power of two -
+  :func:`repro.argus.dcs.single_bit_sensitivity`).
+* **quadrant shape** - masked-but-detected records (DME) point at
+  checker-state/metadata families that are masked-by-construction;
+  unmasked detections point at value families.
+
+A gate-weight prior (:mod:`repro.faults.points` weights) breaks ties
+toward the families that dominate the sampled population.
+"""
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.coverage import MASKED, build_static_coverage_map
+
+#: Score model coefficients (empirically tuned on the bundled workloads
+#: via benchmarks/bench_diagnosis_localization.py).
+_OWNED = 1.0          # detection by an owning checker
+_INCIDENTAL = 0.15    # detection by an incidental (wild) checker
+_FOREIGN = 0.02       # detection by a checker with no static path
+_REFINE_HIT = 3.0     # residues name this family's site
+_REFINE_MISS = 0.4    # residues name a different site
+_INDEX_HIT = 4.0      # residue register == family index
+_INDEX_MISS = 0.02    # residue register != family index
+_PRIOR_ALPHA = 0.25   # gate-weight prior strength
+_QUADRANT_FLOOR = 0.2  # masked/unmasked shape factor floor
+
+_LOAD_OPS = frozenset(("lwz", "lhz", "lhs", "lbz", "lbs"))
+_STORE_OPS = frozenset(("sw", "sh", "sb"))
+_POWERS_OF_TWO = frozenset(1 << b for b in range(5))
+
+
+@dataclass(frozen=True)
+class FamilyProfile:
+    """Static profile of one candidate family ``(target, index)``."""
+
+    target: str
+    index: Optional[int]
+    weight: float
+    detected_by: frozenset
+    incidental: frozenset
+    masked_fraction: float  # weight share of masked-by-construction points
+
+    @property
+    def key(self):
+        return (self.target, self.index)
+
+    @property
+    def label(self):
+        if self.index is None:
+            return self.target
+        return "%s[%d]" % (self.target, self.index)
+
+
+def build_family_profiles(coverage_map=None):
+    """Group a static coverage map's points into candidate families."""
+    if coverage_map is None:
+        coverage_map = build_static_coverage_map()
+    grouped = {}
+    for entry in coverage_map.entries:
+        if entry.target.startswith("inert."):
+            continue  # gate-internal: never attributable, never a candidate
+        grouped.setdefault((entry.target, entry.index), []).append(entry)
+    profiles = []
+    for (target, index), entries in sorted(
+            grouped.items(), key=lambda item: (item[0][0], item[0][1] is not None,
+                                               item[0][1])):
+        weight = sum(entry.weight for entry in entries)
+        masked = sum(entry.weight for entry in entries
+                     if entry.outcome == MASKED)
+        detected_by = frozenset().union(*(entry.detected_by
+                                          for entry in entries))
+        incidental = frozenset().union(*(entry.incidental
+                                         for entry in entries))
+        profiles.append(FamilyProfile(
+            target=target, index=index, weight=weight,
+            detected_by=detected_by, incidental=incidental,
+            masked_fraction=(masked / weight) if weight else 0.0))
+    return profiles
+
+
+def _refinement_targets(checker, residues):
+    """Candidate targets the raw residues implicate, or None if the
+    payload carries no site information for this checker."""
+    if not residues:
+        return None
+    if checker == "parity":
+        port = residues.get("port")
+        targets = {"state.rf.value", "state.rf.parity"}
+        if port == "a":
+            targets |= {"ex.op_a", "ex.op_a.par"}
+        elif port == "b":
+            targets |= {"ex.op_b", "ex.op_b.par"}
+        return targets
+    if checker == "computation":
+        unit = residues.get("unit")
+        op = residues.get("op", "")
+        if unit == "copy":
+            return {"id.word.fu", "id.word.chk", "if.inst"}
+        if unit == "compare":
+            return {"ex.flag", "chk.adder.flag", "ex.op_a", "ex.op_b"}
+        if unit == "adder":
+            if op in _LOAD_OPS or op in _STORE_OPS:
+                return {"lsu.addr", "chk.adder.addr", "ex.op_a"}
+            return {"ex.alu.result", "chk.adder.sum", "chk.adder.logic",
+                    "ex.op_a", "ex.op_b"}
+        if unit == "rsse":
+            if op in _LOAD_OPS:
+                return {"lsu.load_data", "chk.rsse.load"}
+            if op in _STORE_OPS:
+                return {"lsu.store_data", "chk.rsse.store"}
+            return {"ex.alu.result", "chk.rsse.out", "ex.op_a", "ex.op_b"}
+        if unit == "modulo":
+            if op in ("mul", "mulu"):
+                return {"ex.mul.product", "chk.mod.lhs", "chk.mod.rhs",
+                        "ex.op_a", "ex.op_b"}
+            return {"ex.div.quotient", "ex.div.remainder",
+                    "chk.mod.lhs", "chk.mod.rhs", "ex.op_a", "ex.op_b"}
+        return None
+    if checker == "dcs":
+        kind = residues.get("kind")
+        if kind == "payload":
+            # A block's packed payload disagreed with its re-derived
+            # DCS: either the word stream itself is corrupt, or a wrong
+            # control target landed execution in an unexpected block.
+            return {"id.word.chk", "if.inst", "id.word.fu",
+                    "if.pc", "state.pc", "ctl.btarget"}
+        delta = residues.get("delta")
+        if delta in _POWERS_OF_TWO:
+            # Every flat SHS bit folds to one distinct DCS bit; a
+            # power-of-two delta is the fingerprint of a single-bit
+            # signature/state corruption rather than a dataflow change.
+            return {"state.shs", "cfc.expected", "cfc.computed",
+                    "state.cfc.expected", "cfc.dcs", "ex.shs_a", "ex.shs_b",
+                    "id.word.shs"}
+        if kind == "cond":
+            # The block ended on the wrong *side* of a conditional:
+            # direction evidence implicates the flag, the dataflow
+            # writing it (a wrong writeback register, a reinterpreted
+            # instruction word) - or, when control flow was in fact
+            # correct, an accumulated-signature corruption surfacing at
+            # the ordinary block-end compare (the masked/unmasked
+            # quadrant shape separates those two readings).
+            return {"wb.rd", "ctl.flag", "state.flag", "ex.flag",
+                    "chk.adder.flag", "if.inst", "id.word.shs",
+                    "ex.shs_a", "ex.shs_b"}
+        if kind == "fallthrough":
+            # A straight-line edge taken wrongly: a suppressed branch
+            # (flag corruption) or a PC/target/instruction-word slip.
+            return {"ctl.flag", "state.flag", "ex.flag",
+                    "chk.adder.flag", "if.pc", "state.pc",
+                    "ctl.btarget", "if.inst"}
+        if kind is not None:
+            # jump/call/indirect/halt...: the control *target* itself
+            # was wrong.
+            return {"if.pc", "state.pc", "ctl.btarget"}
+        return {"id.word.shs", "if.pc", "state.pc", "ctl.btarget",
+                "wb.rd", "state.flag", "ctl.flag", "if.inst"}
+    if checker == "memory":
+        if residues.get("kind") == "load":
+            return {"lsu.mem_addr", "state.rf.value"}
+        return {"lsu.mem_waddr", "lsu.store_data", "state.rf.value"}
+    if checker == "watchdog":
+        return {"ctl.hang"}
+    return None
+
+
+def _record_fields(record):
+    """(checker, residues, masked) from a result object or journal dict."""
+    if isinstance(record, dict):
+        if not record.get("detected"):
+            return None
+        attribution = record.get("attribution") or {}
+        return (record.get("checker"), attribution.get("residues") or {},
+                bool(record.get("masked")))
+    if not getattr(record, "detected", False):
+        return None
+    attribution = getattr(record, "attribution", None) or {}
+    return (record.checker, attribution.get("residues") or {},
+            bool(record.masked))
+
+
+@dataclass
+class Ranking:
+    """A ranked list of (FamilyProfile, score), best first."""
+
+    entries: list  # [(FamilyProfile, float score), ...]
+    detections: int  # records that contributed evidence
+
+    def top(self, k):
+        return [profile for profile, __ in self.entries[:k]]
+
+    def rank_of(self, target, index=None):
+        """1-based rank of a family; None when absent."""
+        for position, (profile, __) in enumerate(self.entries, start=1):
+            if profile.target == target and profile.index == index:
+                return position
+        return None
+
+    def to_dict(self, limit=10):
+        return {
+            "detections": self.detections,
+            "ranking": [{"target": profile.target, "index": profile.index,
+                         "label": profile.label, "score": score}
+                        for profile, score in self.entries[:limit]],
+        }
+
+
+def diagnose_records(records, coverage_map=None, profiles=None):
+    """Rank candidate fault families from a stream of result records.
+
+    ``records`` may mix :class:`~repro.faults.campaign.ExperimentResult`
+    objects and journal result dicts; undetected records are ignored
+    (they carry no attribution).  Returns a :class:`Ranking`.
+    """
+    if profiles is None:
+        profiles = build_family_profiles(coverage_map)
+    scores = {profile.key: _PRIOR_ALPHA * math.log(max(profile.weight, 1e-12))
+              for profile in profiles}
+    detections = 0
+    for record in records:
+        fields = _record_fields(record)
+        if fields is None:
+            continue
+        checker, residues, masked = fields
+        detections += 1
+        refined = _refinement_targets(checker, residues)
+        reg = residues.get("reg") if residues else None
+        for profile in profiles:
+            if checker in profile.detected_by:
+                factor = _OWNED
+            elif checker in profile.incidental:
+                factor = _INCIDENTAL
+            else:
+                factor = _FOREIGN
+            if refined is not None:
+                factor *= _REFINE_HIT if profile.target in refined else _REFINE_MISS
+            if reg is not None and profile.index is not None:
+                factor *= _INDEX_HIT if profile.index == reg else _INDEX_MISS
+            shape = profile.masked_fraction if masked else 1.0 - profile.masked_fraction
+            factor *= _QUADRANT_FLOOR + (1.0 - _QUADRANT_FLOOR) * shape
+            scores[profile.key] += math.log(factor)
+    ordered = sorted(profiles,
+                     key=lambda p: (-scores[p.key], -p.weight, p.target,
+                                    p.index if p.index is not None else -1))
+    return Ranking(entries=[(profile, scores[profile.key])
+                            for profile in ordered],
+                   detections=detections)

@@ -39,6 +39,30 @@ class HybridSoundnessError(AssertionError):
     wrong, and no further synthesis can be trusted."""
 
 
+def _event_attribution(event, latency):
+    """JSON-ready attribution dict from an executed detection event.
+
+    Captures the information the diagnosis engine needs - which checker
+    fired, where (pc/block), the latency triple, and the raw checker
+    residues - without keeping the DetectionEvent itself (results must
+    pickle cheaply across worker processes and serialize to the
+    journal).
+    """
+    attribution = {
+        "checker": event.checker,
+        "pc": event.pc,
+        "block_index": event.block_index,
+        "latency": {
+            "instructions": latency["instructions"],
+            "cycles": latency["cycles"],
+            "blocks": latency["blocks"],
+        },
+    }
+    if event.payload is not None:
+        attribution["residues"] = dict(event.payload)
+    return attribution
+
+
 @dataclass
 class ExperimentResult:
     """Classified outcome of one fault-injection experiment.
@@ -65,6 +89,11 @@ class ExperimentResult:
     hung: bool = False
     synthesized: str = ""  # axes taken from the masking timeline
     spot_check: bool = False  # executed *and* verified against the timeline
+    #: Structured detector attribution for executed detections: checker
+    #: id, firing site (pc/block), latency triple and the raw checker
+    #: residues from the DetectionEvent payload.  None for undetected or
+    #: synthesized outcomes (a timeline proof has no firing site).
+    attribution: Optional[dict] = None
 
     @property
     def silent(self):
@@ -405,6 +434,7 @@ class Campaign:
         checker = None
         detail = ""
         lat_i = lat_c = lat_b = None
+        attribution = None
         if detected:
             event, latency = info
             checker = event.checker
@@ -412,6 +442,7 @@ class Campaign:
             lat_i = latency["instructions"]
             lat_c = latency["cycles"]
             lat_b = latency["blocks"]
+            attribution = _event_attribution(event, latency)
         return ExperimentResult(
             spec=spec,
             duration=duration,
@@ -425,6 +456,7 @@ class Campaign:
             latency_cycles=lat_c,
             latency_blocks=lat_b,
             hung=hung1 or hung2,
+            attribution=attribution,
         )
 
     def _execute(self, spec, duration, inject_at):
@@ -462,6 +494,7 @@ class Campaign:
         checker = None
         detail = "synthesized masking: %s" % verdict.rule
         lat_i = lat_c = lat_b = None
+        attribution = None
         if detected:
             event, latency = info
             checker = event.checker
@@ -469,12 +502,14 @@ class Campaign:
             lat_i = latency["instructions"]
             lat_c = latency["cycles"]
             lat_b = latency["blocks"]
+            attribution = _event_attribution(event, latency)
         return ExperimentResult(
             spec=spec, duration=duration, inject_at=inject_at,
             masked=verdict.masked, detected=detected, checker=checker,
             detail=detail, latency_instructions=lat_i,
             latency_cycles=lat_c, latency_blocks=lat_b, hung=hung,
-            synthesized="masking:%s" % verdict.rule)
+            synthesized="masking:%s" % verdict.rule,
+            attribution=attribution)
 
     def _run_hybrid(self, spec, duration, inject_at, spot):
         """Synthesize proven axes from the timeline, simulate the rest.

@@ -1,0 +1,138 @@
+"""Storage-upset scenarios for embedded program text.
+
+The transient-fault campaign machinery (:mod:`repro.faults.campaign`)
+flips live core state while a program runs.  This module models the
+*other* fault class Argus-protected systems face: bit upsets in the
+instruction storage itself - flash/ROM wear, SEUs in instruction
+memory, bus glitches during load.  A storage fault is a set of
+``(word_index, bit)`` flips applied to the text image before
+execution; the repair engine (:mod:`repro.diagnosis.repair`) then has
+to localize and undo them from the embedded signatures and header CRC
+alone.
+
+Three standard scenarios:
+
+``single_bit``
+    One flipped bit anywhere in the text.  The dominant real-world
+    case (SEU); repair must succeed on 100% of these when the header
+    carries ``text_crc``.
+``adjacent_pair``
+    Two flipped bits in adjacent positions of one word - the classic
+    multi-cell upset produced by a single particle strike on
+    physically neighbouring cells.
+``random_<k>bit``
+    ``k`` independent uniformly-placed bit flips (``random_3bit``,
+    ``random_4bit``, ...).  Stresses the multi-flip search.
+
+Generators draw from a caller-supplied :class:`random.Random` so that
+campaigns, benchmarks and tests are seed-reproducible, and they never
+emit duplicate fault sets within one batch.
+"""
+
+WORD_BITS = 32
+
+_SCENARIOS = ("single_bit", "adjacent_pair")
+
+
+class StorageFaultError(ValueError):
+    """Raised for unknown scenarios or unsatisfiable batch requests."""
+
+
+def parse_scenario(scenario):
+    """Return the flip multiplicity ``k`` for a scenario name."""
+    if scenario == "single_bit":
+        return 1
+    if scenario == "adjacent_pair":
+        return 2
+    if scenario.startswith("random_") and scenario.endswith("bit"):
+        body = scenario[len("random_"):-len("bit")]
+        if body.isdigit() and int(body) >= 1:
+            return int(body)
+    raise StorageFaultError(
+        "unknown storage scenario %r (expected one of %s or random_<k>bit)"
+        % (scenario, ", ".join(_SCENARIOS)))
+
+
+def single_bit_upsets(n_words, count, rng):
+    """``count`` distinct single-bit faults, each ``((word, bit),)``."""
+    total = n_words * WORD_BITS
+    if count > total:
+        raise StorageFaultError(
+            "asked for %d single-bit faults but only %d bits exist"
+            % (count, total))
+    picks = rng.sample(range(total), count)
+    return [((flat // WORD_BITS, flat % WORD_BITS),) for flat in picks]
+
+
+def adjacent_pair_upsets(n_words, count, rng):
+    """``count`` distinct adjacent-bit pairs inside single words."""
+    total = n_words * (WORD_BITS - 1)  # low bit of each pair
+    if count > total:
+        raise StorageFaultError(
+            "asked for %d adjacent-pair faults but only %d pairs exist"
+            % (count, total))
+    picks = rng.sample(range(total), count)
+    faults = []
+    for flat in picks:
+        word, low = divmod(flat, WORD_BITS - 1)
+        faults.append(((word, low), (word, low + 1)))
+    return faults
+
+
+def random_kbit_upsets(n_words, k, count, rng):
+    """``count`` distinct faults of ``k`` independent bit flips each."""
+    total = n_words * WORD_BITS
+    if k > total:
+        raise StorageFaultError(
+            "asked for %d-bit faults but only %d bits exist" % (k, total))
+    faults = []
+    seen = set()
+    while len(faults) < count:
+        flats = tuple(sorted(rng.sample(range(total), k)))
+        if flats in seen:
+            continue
+        seen.add(flats)
+        faults.append(tuple((flat // WORD_BITS, flat % WORD_BITS)
+                            for flat in flats))
+    return faults
+
+
+def generate_storage_faults(n_words, scenario, count, rng):
+    """Dispatch on scenario name; returns a list of flip tuples."""
+    k = parse_scenario(scenario)
+    if scenario == "single_bit":
+        return single_bit_upsets(n_words, count, rng)
+    if scenario == "adjacent_pair":
+        return adjacent_pair_upsets(n_words, count, rng)
+    return random_kbit_upsets(n_words, k, count, rng)
+
+
+def apply_storage_fault(words, flips):
+    """Return a copy of ``words`` with every ``(index, bit)`` flipped."""
+    out = list(words)
+    for index, bit in flips:
+        if not 0 <= index < len(out):
+            raise StorageFaultError("flip index %d outside text" % index)
+        if not 0 <= bit < WORD_BITS:
+            raise StorageFaultError("flip bit %d outside word" % bit)
+        out[index] ^= 1 << bit
+    return out
+
+
+def corrupt_program(program, flips):
+    """Return a new :class:`~repro.asm.program.Program` with ``flips``
+    applied to its text (source IR does not survive corruption)."""
+    from repro.asm.program import Program
+
+    return Program(
+        text_base=program.text_base,
+        words=apply_storage_fault(program.words, flips),
+        data_base=program.data_base,
+        data=program.data,
+        labels=program.labels,
+        entry=program.entry,
+        stmts=None,
+        insn_addrs={},
+        codeptr_sites=program.codeptr_sites,
+        lines=[],
+    )

@@ -103,12 +103,21 @@ def load_raw(path):
 
 
 def save_embedded(embedded, path):
-    """Write an Argus-embedded binary (words + entry DCS header)."""
+    """Write an Argus-embedded binary (words + entry DCS header).
+
+    Headers also carry ``text_crc``, a CRC-32 of the text image used by
+    the repair engine (:mod:`repro.diagnosis.repair`) to localize
+    storage bit flips; loaders treat it as optional so objects written
+    before the field existed still load.
+    """
+    from repro.diagnosis.repair import text_digest
+
     payload = _program_to_dict(embedded.program, "embedded")
     payload["entry_dcs"] = embedded.entry_dcs
     payload["base_words"] = embedded.base_words
     payload["terminator_sigs"] = embedded.terminator_sigs
     payload["capacity_sigs"] = embedded.capacity_sigs
+    payload["text_crc"] = text_digest(embedded.program.words)
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=1)
 
@@ -141,4 +150,13 @@ def load_embedded(path):
         raise ObjFileError(
             "entry DCS mismatch: header 0x%02x vs recomputed 0x%02x"
             % (stored_dcs, embedded.entry_dcs))
+    stored_crc = payload.get("text_crc")  # absent in pre-diagnosis objects
+    if stored_crc is not None:
+        from repro.diagnosis.repair import text_digest
+
+        actual = text_digest(program.words)
+        if stored_crc != actual:
+            raise ObjFileError(
+                "text CRC mismatch: header 0x%08x vs recomputed 0x%08x"
+                % (stored_crc, actual))
     return embedded

@@ -39,6 +39,10 @@ _RESULT_FIELDS = (
 _RESULT_DEFAULTS = {
     "synthesized": "",
     "spot_check": False,
+    # Structured detector attribution (checker id, firing site, latency
+    # triple, raw residues) - None (elided) for undetected/synthesized
+    # outcomes and in every pre-diagnosis journal.
+    "attribution": None,
 }
 
 

@@ -282,6 +282,12 @@ def _storable(record):
     store: synthesized records carry proof tags instead of latencies,
     and spot-check records carry their verification flag - neither is
     the neutral record a non-hybrid consumer of the same key expects.
+
+    ``attribution`` records (diagnosis payloads) are storable as-is:
+    content keys hash the binary digest + fault spec + derived seed,
+    never the record body, and executed detections produce the same
+    attribution on every engine - so enriched records are content-key
+    neutral and old store rows simply read back with attribution=None.
     """
     return not record.get("synthesized") and not record.get("spot_check")
 

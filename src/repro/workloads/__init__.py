@@ -6,6 +6,8 @@ data (see DESIGN.md).  ``WORKLOADS`` maps name -> :class:`Workload`;
 :mod:`repro.workloads.runner` measures the base-vs-Argus overheads.
 """
 
+import os
+
 from repro.workloads.base import Workload
 from repro.workloads.adpcm import ADPCM_DEC, ADPCM_ENC
 from repro.workloads.epic import EPIC
@@ -40,14 +42,21 @@ WORKLOADS = {wl.name: wl for wl in ALL_WORKLOADS}
 def iter_analysis_targets(inputs=(), all_workloads=False):
     """Yield ``(name, workload-or-None)`` analysis targets.
 
-    The single enumeration shared by every CLI command that walks a mix
-    of user-supplied files and the bundled suite (``lint
-    --all-workloads``, ``audit --all-workloads``): file paths first
-    (workload slot ``None``), then - when ``all_workloads`` is set -
-    every bundled workload in suite order.
+    The single enumeration shared by every CLI command that resolves a
+    mix of user-supplied files and the bundled suite (``lint``,
+    ``audit``, ``diagnose --workload``, the diagnosis evaluator): an
+    input that names a bundled workload - and is not shadowed by a file
+    of the same name on disk - resolves to its :class:`Workload`;
+    everything else passes through as a file path (workload slot
+    ``None``).  When ``all_workloads`` is set, every bundled workload
+    follows in suite order.
     """
-    for path in inputs:
-        yield path, None
+    for item in inputs:
+        workload = WORKLOADS.get(str(item))
+        if workload is not None and not os.path.exists(str(item)):
+            yield workload.name, workload
+        else:
+            yield item, None
     if all_workloads:
         for workload in ALL_WORKLOADS:
             yield workload.name, workload

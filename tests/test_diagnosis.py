@@ -1,0 +1,420 @@
+"""Tests for the fault-diagnosis subsystem: attribution plumbing,
+localization ranking, and signature-driven binary repair."""
+
+import json
+import random
+
+import pytest
+
+from repro.analysis.coverage import build_static_coverage_map
+from repro.diagnosis import (build_family_profiles, diagnose_records,
+                             repair_program, strict_verify)
+from repro.diagnosis.evaluate import evaluate_family
+from repro.diagnosis.repair import (_single_bit_crc_deltas, _with_words,
+                                    text_digest)
+from repro.faults.campaign import Campaign
+from repro.faults.model import TRANSIENT, FaultSpec
+from repro.io import load_raw, save_embedded
+from repro.io.objfile import ObjFileError, load_embedded
+from repro.runner.journal import record_to_result, result_to_record
+from repro.toolchain import embed_program
+from repro.workloads import WORKLOADS
+
+SMALL = """
+start:  li   r1, 6
+        li   r2, 0
+        la   r6, buf
+loop:   add  r2, r2, r1
+        sw   r2, 0(r6)
+        addi r1, r1, -1
+        sfgtsi r1, 0
+        bf   loop
+        nop
+        mul  r3, r2, r2
+        sw   r3, 4(r6)
+        halt
+        .data
+buf:    .word 0, 0
+"""
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return Campaign(embedded=embed_program(SMALL), seed=3)
+
+
+@pytest.fixture(scope="module")
+def small_embedded():
+    return embed_program(SMALL)
+
+
+# ---------------------------------------------------------------------------
+# Attribution: threaded through results, journals, and old records.
+# ---------------------------------------------------------------------------
+
+class TestAttribution:
+    def test_detected_result_carries_attribution(self, campaign):
+        result = campaign.run_experiment(
+            FaultSpec("ex.alu.result", 1), TRANSIENT, inject_at=1)
+        assert result.detected
+        attribution = result.attribution
+        assert attribution is not None
+        assert attribution["checker"] == result.checker
+        assert attribution["latency"]["instructions"] == \
+            result.latency_instructions
+        residues = attribution.get("residues")
+        assert residues is not None and residues["unit"] in (
+            "adder", "rsse", "copy", "compare", "modulo")
+
+    def test_undetected_result_has_no_attribution(self, campaign):
+        # A masked fault produces no detection and thus no attribution.
+        result = campaign.run_experiment(
+            FaultSpec("state.rf.value", 1 << 30, index=29, is_state=True),
+            TRANSIENT, inject_at=1)
+        assert not result.detected
+        assert result.attribution is None
+
+    def test_journal_round_trip_preserves_attribution(self, campaign):
+        result = campaign.run_experiment(
+            FaultSpec("ex.alu.result", 1), TRANSIENT, inject_at=1)
+        record = result_to_record(result)
+        assert record["attribution"] == result.attribution
+        back = record_to_result(json.loads(json.dumps(record)))
+        assert back.attribution == result.attribution
+        assert back == result
+
+    def test_attribution_elided_when_absent(self, campaign):
+        result = campaign.run_experiment(
+            FaultSpec("state.rf.value", 1 << 30, index=29, is_state=True),
+            TRANSIENT, inject_at=1)
+        record = result_to_record(result)
+        # Default-elided: pre-diagnosis journals stay byte-identical and
+        # old records read back with attribution=None.
+        assert "attribution" not in record
+        assert record_to_result(record).attribution is None
+
+    def test_dcs_attribution_carries_delta(self, campaign):
+        result = campaign.run_experiment(
+            FaultSpec("cfc.expected", 1), TRANSIENT, inject_at=1)
+        assert result.detected and result.checker == "dcs"
+        residues = result.attribution["residues"]
+        assert residues["delta"] == residues["computed"] ^ residues["expected"]
+
+    def test_parity_attribution_names_register(self, campaign):
+        result = campaign.run_experiment(
+            FaultSpec("ex.op_a", 1 << 3), TRANSIENT, inject_at=3)
+        if result.detected and result.checker == "parity":
+            residues = result.attribution["residues"]
+            assert residues["port"] in ("a", "b")
+            assert 0 <= residues["reg"] < 32
+
+
+# ---------------------------------------------------------------------------
+# Localization ranking.
+# ---------------------------------------------------------------------------
+
+class TestLocalization:
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        return build_family_profiles(build_static_coverage_map())
+
+    def test_profiles_cover_population(self, profiles):
+        targets = {profile.target for profile in profiles}
+        assert "ex.alu.result" in targets
+        assert "state.rf.value" in targets
+        assert not any(t.startswith("inert.") for t in targets)
+        indexed = [p for p in profiles if p.target == "state.rf.value"]
+        assert len(indexed) == 31  # r1..r31
+
+    def test_known_family_ranks_top3(self, campaign, profiles):
+        row = evaluate_family(campaign, profiles, "ex.alu.result", None,
+                              seed=11, detections_target=8, max_attempts=60)
+        assert row["detections"] >= 3
+        assert row["rank"] is not None and row["rank"] <= 3
+
+    def test_register_family_pinned_by_parity(self, campaign, profiles):
+        row = evaluate_family(campaign, profiles, "state.rf.value", 2,
+                              seed=12, detections_target=8, max_attempts=60)
+        if row["detections"] >= 3:
+            assert row["rank"] is not None and row["rank"] <= 5
+
+    def test_diagnose_accepts_journal_dicts(self, campaign, profiles):
+        results = [campaign.run_experiment(FaultSpec("ex.alu.result", 1),
+                                           TRANSIENT, inject_at=i)
+                   for i in (1, 2, 3)]
+        records = [json.loads(json.dumps(result_to_record(r)))
+                   for r in results]
+        from_objects = diagnose_records(results, profiles=profiles)
+        from_dicts = diagnose_records(records, profiles=profiles)
+        assert [p.key for p, _ in from_objects.entries[:10]] == \
+            [p.key for p, _ in from_dicts.entries[:10]]
+
+    def test_ranking_is_deterministic(self, campaign, profiles):
+        results = [campaign.run_experiment(FaultSpec("ex.alu.result", 1),
+                                           TRANSIENT, inject_at=i)
+                   for i in (1, 2)]
+        first = diagnose_records(results, profiles=profiles)
+        second = diagnose_records(results, profiles=profiles)
+        assert [(p.key, s) for p, s in first.entries] == \
+            [(p.key, s) for p, s in second.entries]
+
+    def test_empty_stream_ranks_by_prior(self, profiles):
+        ranking = diagnose_records([], profiles=profiles)
+        assert ranking.detections == 0
+        assert len(ranking.entries) == len(profiles)
+
+
+# ---------------------------------------------------------------------------
+# Strict verification and repair.
+# ---------------------------------------------------------------------------
+
+class TestStrictVerify:
+    def test_intact_program_is_clean(self, small_embedded):
+        program = small_embedded.program
+        crc = text_digest(program.words)
+        assert strict_verify(program, entry_dcs=small_embedded.entry_dcs,
+                             text_crc=crc) == []
+
+    def test_crc_mismatch_is_flagged(self, small_embedded):
+        program = small_embedded.program
+        findings = strict_verify(program,
+                                 text_crc=text_digest(program.words) ^ 1)
+        assert any(f.rule == "crc" for f in findings)
+
+    def test_canonical_flip_implicates_block(self, small_embedded):
+        program = small_embedded.program
+        words = list(program.words)
+        words[3] ^= 1 << 0  # register field bit: changes the block DCS
+        findings = strict_verify(_with_words(program, words),
+                                 entry_dcs=small_embedded.entry_dcs)
+        assert findings
+        implicated = set()
+        for finding in findings:
+            implicated.update(finding.addresses)
+        assert program.text_base + 12 in implicated
+
+
+class TestCrcDeltas:
+    def test_single_bit_delta_table_is_exact(self, small_embedded):
+        words = small_embedded.program.words
+        deltas = _single_bit_crc_deltas(len(words))
+        assert len(deltas) == 32 * len(words)
+        crc = text_digest(words)
+        rng = random.Random(5)
+        for _ in range(64):
+            i = rng.randrange(len(words))
+            b = rng.randrange(32)
+            corrupted = list(words)
+            corrupted[i] ^= 1 << b
+            delta = (text_digest(corrupted) ^ crc) & 0xFFFFFFFF
+            assert deltas[delta] == (i, b)
+
+
+class TestRepair:
+    def test_exhaustive_single_bit_smallest_workload(self):
+        # Property: any single text-bit flip repairs to the bit-identical
+        # original - exhaustive on the smallest bundled workload.
+        embedded = WORKLOADS["mpeg2"].build_embedded()
+        program = embedded.program
+        crc = text_digest(program.words)
+        for index in range(len(program.words)):
+            for bit in range(32):
+                corrupted = list(program.words)
+                corrupted[index] ^= 1 << bit
+                outcome = repair_program(
+                    _with_words(program, corrupted),
+                    entry_dcs=embedded.entry_dcs, text_crc=crc,
+                    oracle=False)
+                assert outcome.status == "repaired", \
+                    "word %d bit %d: %s" % (index, bit, outcome.status)
+                assert outcome.program.words == program.words
+
+    @pytest.mark.parametrize("name", ["rasta", "adpcm_enc", "jpeg_dec"])
+    def test_sampled_single_bit_other_workloads(self, name):
+        embedded = WORKLOADS[name].build_embedded()
+        program = embedded.program
+        crc = text_digest(program.words)
+        rng = random.Random(hash_free_seed(name))
+        for _ in range(6):
+            index = rng.randrange(len(program.words))
+            bit = rng.randrange(32)
+            corrupted = list(program.words)
+            corrupted[index] ^= 1 << bit
+            outcome = repair_program(
+                _with_words(program, corrupted),
+                entry_dcs=embedded.entry_dcs, text_crc=crc, oracle=False)
+            assert outcome.status == "repaired"
+            assert outcome.program.words == program.words
+
+    def test_adjacent_pair_repair(self, small_embedded):
+        program = small_embedded.program
+        crc = text_digest(program.words)
+        rng = random.Random(9)
+        for _ in range(8):
+            index = rng.randrange(len(program.words))
+            bit = rng.randrange(31)
+            corrupted = list(program.words)
+            corrupted[index] ^= 0b11 << bit
+            outcome = repair_program(
+                _with_words(program, corrupted),
+                entry_dcs=small_embedded.entry_dcs, text_crc=crc,
+                oracle=False)
+            assert outcome.status == "repaired"
+            assert outcome.program.words == program.words
+
+    def test_repaired_binary_passes_analyzer_oracle(self, small_embedded):
+        from repro.analysis import analyze_program
+
+        program = small_embedded.program
+        crc = text_digest(program.words)
+        corrupted = list(program.words)
+        corrupted[2] ^= 1 << 7
+        outcome = repair_program(_with_words(program, corrupted),
+                                 entry_dcs=small_embedded.entry_dcs,
+                                 text_crc=crc, oracle=True)
+        assert outcome.status == "repaired" and outcome.code == "ARG020"
+        report = analyze_program(outcome.program,
+                                 expected_entry_dcs=small_embedded.entry_dcs)
+        assert report.ok
+
+    def test_clean_input_reports_clean(self, small_embedded):
+        program = small_embedded.program
+        outcome = repair_program(program,
+                                 entry_dcs=small_embedded.entry_dcs,
+                                 text_crc=text_digest(program.words))
+        assert outcome.status == "clean" and outcome.code is None
+
+    def test_never_wrong_silent_repair_without_crc(self, small_embedded):
+        # Signature-only mode: every single-bit corruption either repairs
+        # to the bit-identical original, is reported ambiguous (ARG021),
+        # is judged already-consistent (the invisible aliasing class), or
+        # is given up on - never silently repaired to a different
+        # program.
+        program = small_embedded.program
+        rng = random.Random(21)
+        for _ in range(24):
+            index = rng.randrange(len(program.words))
+            bit = rng.randrange(32)
+            corrupted = list(program.words)
+            corrupted[index] ^= 1 << bit
+            outcome = repair_program(_with_words(program, corrupted),
+                                     entry_dcs=small_embedded.entry_dcs,
+                                     oracle=False)
+            if outcome.status == "repaired":
+                assert outcome.program.words == program.words
+            else:
+                assert outcome.status in ("ambiguous", "unrepairable",
+                                          "clean")
+                if outcome.status == "ambiguous":
+                    assert outcome.code == "ARG021"
+                    assert len(outcome.candidates) > 1
+                    assert outcome.program is None
+
+
+class TestStorageScenarios:
+    def test_scenario_multiplicities(self):
+        from repro.faults.storage import StorageFaultError, parse_scenario
+
+        assert parse_scenario("single_bit") == 1
+        assert parse_scenario("adjacent_pair") == 2
+        assert parse_scenario("random_3bit") == 3
+        assert parse_scenario("random_7bit") == 7
+        with pytest.raises(StorageFaultError):
+            parse_scenario("random_0bit")
+        with pytest.raises(StorageFaultError):
+            parse_scenario("burst")
+
+    def test_batches_are_distinct_and_in_range(self):
+        from repro.faults.storage import generate_storage_faults
+
+        rng = random.Random(5)
+        for scenario, k in (("single_bit", 1), ("adjacent_pair", 2),
+                            ("random_3bit", 3)):
+            faults = generate_storage_faults(20, scenario, 30, rng)
+            assert len(faults) == 30
+            assert len(set(faults)) == 30
+            for flips in faults:
+                assert len(flips) == k
+                for index, bit in flips:
+                    assert 0 <= index < 20 and 0 <= bit < 32
+                if scenario == "adjacent_pair":
+                    (w1, b1), (w2, b2) = flips
+                    assert w1 == w2 and b2 == b1 + 1
+
+    def test_apply_is_involutive(self):
+        from repro.faults.storage import apply_storage_fault
+
+        words = [0xDEADBEEF, 0x12345678, 0]
+        flips = ((0, 3), (2, 31))
+        once = apply_storage_fault(words, flips)
+        assert once != words
+        assert apply_storage_fault(once, flips) == words
+
+    def test_corrupt_program_feeds_repair(self, small_embedded):
+        from repro.faults.storage import (corrupt_program,
+                                          generate_storage_faults)
+
+        program = small_embedded.program
+        crc = text_digest(program.words)
+        rng = random.Random(11)
+        for flips in generate_storage_faults(len(program.words),
+                                             "random_3bit", 4, rng):
+            outcome = repair_program(corrupt_program(program, flips),
+                                     entry_dcs=small_embedded.entry_dcs,
+                                     text_crc=crc, oracle=False)
+            assert outcome.status == "repaired"
+            assert outcome.program.words == program.words
+
+
+def hash_free_seed(name):
+    """Deterministic per-name seed (hash() is salted per process)."""
+    import zlib
+
+    return zlib.crc32(name.encode())
+
+
+# ---------------------------------------------------------------------------
+# Object-file header CRC.
+# ---------------------------------------------------------------------------
+
+class TestObjfileTextCrc:
+    def test_saved_header_carries_text_crc(self, small_embedded, tmp_path):
+        path = tmp_path / "prog.aro"
+        save_embedded(small_embedded, path)
+        header = json.loads(path.read_text())
+        assert header["text_crc"] == text_digest(
+            small_embedded.program.words)
+        load_embedded(path)  # verifies CRC on load
+
+    def test_header_without_crc_still_loads(self, small_embedded, tmp_path):
+        path = tmp_path / "old.aro"
+        save_embedded(small_embedded, path)
+        header = json.loads(path.read_text())
+        del header["text_crc"]  # object written before the field existed
+        path.write_text(json.dumps(header))
+        load_embedded(path)
+
+    def test_crc_mismatch_rejected_on_load(self, small_embedded, tmp_path):
+        path = tmp_path / "bad.aro"
+        save_embedded(small_embedded, path)
+        header = json.loads(path.read_text())
+        header["text_crc"] ^= 1
+        path.write_text(json.dumps(header))
+        with pytest.raises(ObjFileError):
+            load_embedded(path)
+
+    def test_repair_cli_round_trip(self, small_embedded, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "prog.aro"
+        fixed = tmp_path / "fixed.aro"
+        save_embedded(small_embedded, path)
+        header = json.loads(path.read_text())
+        word = int(header["words"][4], 16) ^ (1 << 13)
+        header["words"][4] = "0x%08x" % word
+        bad = tmp_path / "bad.aro"
+        bad.write_text(json.dumps(header))
+        assert main(["repair", str(bad), "-o", str(fixed)]) == 0
+        repaired, _ = load_raw(str(fixed))
+        assert repaired.words == small_embedded.program.words
+        assert main(["repair", str(fixed)]) == 0  # now intact

@@ -14,13 +14,17 @@ from repro.analysis.diagnostics import (
 
 
 class TestRegistry:
-    def test_codes_are_append_only_through_arg019(self):
+    def test_codes_are_append_only_through_arg022(self):
         # The registry is the contract with the CLI and the docs; the
-        # masking-timeline lints must be registered with their severities.
-        for code in ("ARG%03d" % n for n in range(1, 20)):
+        # masking-timeline lints and the diagnosis/repair codes must be
+        # registered with their severities.
+        for code in ("ARG%03d" % n for n in range(1, 23)):
             assert code in CODES
         assert CODES["ARG018"][0] == WARNING
         assert CODES["ARG019"][0] == ERROR
+        assert CODES["ARG020"][0] == WARNING
+        assert CODES["ARG021"][0] == WARNING
+        assert CODES["ARG022"][0] == ERROR
 
     def test_registry_entries_are_well_formed(self):
         for code, (severity, summary) in CODES.items():

@@ -8,7 +8,7 @@ the suite stays quick - the full sweep lives in the benchmarks.
 import pytest
 
 from repro.cpu import CheckedCore, FastCore
-from repro.workloads import ALL_WORKLOADS, WORKLOADS
+from repro.workloads import ALL_WORKLOADS, WORKLOADS, iter_analysis_targets
 from repro.workloads.gen import byte_directive, data_words, word_directive
 from repro.workloads.runner import measure_workload
 
@@ -22,6 +22,21 @@ class TestSuiteStructure:
             "adpcm_enc", "adpcm_dec", "epic", "g721_enc", "g721_dec", "gs",
             "gsm", "jpeg_enc", "jpeg_dec", "mesa", "mpeg2", "pegwit", "rasta",
         }
+
+    def test_iter_analysis_targets_resolves_names(self, tmp_path,
+                                                  monkeypatch):
+        # Bundled names resolve to their Workload; paths pass through.
+        targets = list(iter_analysis_targets(("mpeg2", "foo.aro")))
+        assert targets[0] == ("mpeg2", WORKLOADS["mpeg2"])
+        assert targets[1] == ("foo.aro", None)
+        # A file on disk shadows a same-named bundled workload.
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "rasta").write_text("")
+        assert list(iter_analysis_targets(("rasta",))) == [("rasta", None)]
+        # all_workloads appends the whole suite in order.
+        suite = list(iter_analysis_targets(all_workloads=True))
+        assert [name for name, __ in suite] == [
+            wl.name for wl in ALL_WORKLOADS]
 
     @pytest.mark.parametrize("name", sorted(WORKLOADS))
     def test_workload_assembles(self, name):
